@@ -1,0 +1,59 @@
+#ifndef POWER_BENCH_BENCH_ACCURACY_COMMON_H_
+#define POWER_BENCH_BENCH_ACCURACY_COMMON_H_
+
+// Shared driver for the worker-accuracy sweeps:
+//   Figures 9-11  (real-experiment worker model: kTaskDifficulty),
+//   Figures 12-14 (simulation model: kExactAccuracy).
+// For each dataset and accuracy band it runs all five methods and prints the
+// three figure series (F-measure, #questions, #iterations) plus the monetary
+// cost ratio behind the paper's headline claim.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+namespace power {
+namespace bench {
+
+inline void RunAccuracySweep(WorkerModel model, const char* figure_ids) {
+  std::vector<std::pair<const char*, WorkerBand>> bands = {
+      {"70%", Band70()}, {"80%", Band80()}, {"90%", Band90()}};
+
+  for (const BenchDataset& ds : AllDatasets()) {
+    PrintTitle(std::string(figure_ids) + " — " + ds.name + " (" +
+               std::to_string(ds.candidates.size()) + " pairs)");
+    std::printf("%-8s %-8s %9s %8s %8s %12s %7s %10s\n", "Workers", "Method",
+                "F1", "Prec", "Recall", "#Questions", "#Iter", "Cost($)");
+    PrintRule();
+    for (const auto& [label, band] : bands) {
+      ExperimentSetup setup;
+      setup.band = band;
+      setup.model = model;
+      setup.difficulty_scale = ds.human_hardness;
+      setup.seed = kBenchSeed;
+      std::vector<ExperimentRow> rows =
+          RunAllMethods(ds.table, ds.candidates, setup);
+      size_t power_q = rows[0].questions;
+      size_t max_q = 0;
+      for (const auto& row : rows) {
+        std::printf("%-8s %-8s %9.3f %8.3f %8.3f %12zu %7zu %10.2f\n", label,
+                    MethodName(row.method), row.quality.f1,
+                    row.quality.precision, row.quality.recall, row.questions,
+                    row.iterations, row.dollars);
+        max_q = std::max(max_q, row.questions);
+      }
+      std::printf("  -> Power asks %.2f%% of the most expensive method's "
+                  "questions (%.0fx cost saving)\n",
+                  100.0 * power_q / max_q,
+                  static_cast<double>(max_q) / power_q);
+      PrintRule();
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace power
+
+#endif  // POWER_BENCH_BENCH_ACCURACY_COMMON_H_

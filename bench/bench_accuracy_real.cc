@@ -1,0 +1,11 @@
+// Figures 9-11: quality / #questions / #iterations vs worker accuracy under
+// the real-experiment worker model (AMT approval rate bounds historical
+// accuracy; per-question accuracy degrades with pair difficulty).
+#include "bench_accuracy_common.h"
+
+int main() {
+  power::bench::RunAccuracySweep(
+      power::WorkerModel::kTaskDifficulty,
+      "Fig 9-11 (real-experiment worker model)");
+  return 0;
+}

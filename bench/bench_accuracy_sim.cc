@@ -1,0 +1,10 @@
+// Figures 12-14: quality / #questions / #iterations vs worker accuracy under
+// the simulation worker model (a worker with accuracy a answers correctly
+// with probability exactly a) — the paper's §7.2.2 study.
+#include "bench_accuracy_common.h"
+
+int main() {
+  power::bench::RunAccuracySweep(power::WorkerModel::kExactAccuracy,
+                                 "Fig 12-14 (simulation worker model)");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figures 15-17: effect of the similarity function (Jaccard / edit /
+// bigram, applied to every attribute) on quality, #questions and
+// #iterations, with 90%-accuracy workers.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+namespace power {
+namespace bench {
+namespace {
+
+void Run() {
+  const SimilarityFunction kFunctions[] = {
+      SimilarityFunction::kJaccard, SimilarityFunction::kEditSimilarity,
+      SimilarityFunction::kBigramJaccard};
+
+  for (BenchDataset& ds : AllDatasets()) {
+    PrintTitle("Fig 15-17 — " + ds.name +
+               " (varying similarity functions, 90% workers)");
+    std::printf("%-8s %-8s %9s %12s %7s\n", "SimFn", "Method", "F1",
+                "#Questions", "#Iter");
+    PrintRule();
+    for (SimilarityFunction fn : kFunctions) {
+      Table table = ds.table;  // copy; rebind the similarity function
+      table.mutable_schema()->SetAllSimilarityFunctions(fn);
+      ExperimentSetup setup;
+      setup.band = Band90();
+      setup.model = WorkerModel::kExactAccuracy;
+      setup.seed = kBenchSeed;
+      for (const auto& row : RunAllMethods(table, ds.candidates, setup)) {
+        std::printf("%-8s %-8s %9.3f %12zu %7zu\n",
+                    SimilarityFunctionName(fn), MethodName(row.method),
+                    row.quality.f1, row.questions, row.iterations);
+      }
+      PrintRule();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace power
+
+int main() {
+  power::bench::Run();
+  return 0;
+}

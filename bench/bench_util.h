@@ -1,0 +1,74 @@
+#ifndef POWER_BENCH_BENCH_UTIL_H_
+#define POWER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/pair_generator.h"
+#include "data/generator.h"
+#include "data/table.h"
+#include "sim/similarity_matrix.h"
+
+namespace power {
+namespace bench {
+
+/// All figure-reproduction harnesses share one seed so every binary sees the
+/// same datasets and crowd noise.
+inline constexpr uint64_t kBenchSeed = 51;
+
+/// Scale applied to the ACMPub profile (full size = 66,879 records). The
+/// default keeps every bench binary within seconds; export
+/// POWER_ACMPUB_SCALE=1.0 to run the paper's full size.
+inline double AcmPubScale() {
+  const char* env = std::getenv("POWER_ACMPUB_SCALE");
+  if (env != nullptr) {
+    double scale = std::atof(env);
+    if (scale > 0.0 && scale <= 1.0) return scale;
+  }
+  return 0.1;
+}
+
+struct BenchDataset {
+  std::string name;
+  Table table;
+  std::vector<std::pair<int, int>> candidates;
+  double human_hardness = 0.5;
+};
+
+inline BenchDataset MakeDataset(const DatasetProfile& profile,
+                                double tau = 0.3) {
+  BenchDataset ds;
+  ds.name = profile.name;
+  ds.human_hardness = profile.human_hardness;
+  ds.table = DatasetGenerator(kBenchSeed).Generate(profile);
+  ds.candidates =
+      GenerateCandidates(ds.table, tau, CandidateMethod::kPrefixJoin);
+  return ds;
+}
+
+/// The paper's three datasets (Table 3 profiles).
+inline std::vector<BenchDataset> AllDatasets() {
+  std::vector<BenchDataset> out;
+  out.push_back(MakeDataset(RestaurantProfile()));
+  out.push_back(MakeDataset(CoraProfile()));
+  out.push_back(MakeDataset(AcmPubProfile(AcmPubScale())));
+  return out;
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace power
+
+#endif  // POWER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,47 @@
+#ifndef POWER_BASELINES_ACD_H_
+#define POWER_BASELINES_ACD_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/er_result.h"
+#include "crowd/pair_oracle.h"
+#include "data/table.h"
+
+namespace power {
+
+struct AcdConfig {
+  /// Record-similarity floor below which an unasked pair is trusted to be
+  /// non-matching without crowdsourcing.
+  double uncertain_floor = 0.30;
+  /// Target number of crowdsourcing rounds (the batch size is sized so the
+  /// uncertain pool drains in about this many iterations).
+  size_t target_iterations = 15;
+  size_t min_batch = 50;
+  /// Refinement passes of the correlation clustering per round.
+  int refine_passes = 3;
+  /// Stop once the clustering is unchanged for this many consecutive
+  /// rounds (ACD's adaptive convergence: on cluster-heavy data it stops
+  /// long before exhausting the uncertain pool, as in the paper's Cora /
+  /// ACMPub numbers).
+  int stable_rounds = 2;
+  uint64_t seed = 11;
+};
+
+/// Clean-room implementation of ACD [Wang, Xiao, Lee: "Crowd-based
+/// deduplication: an adaptive approach", SIGMOD 2015].
+///
+/// Iteratively crowdsources batches of uncertain pairs and maintains a
+/// correlation clustering over records (pivot construction + local-move
+/// refinement) where crowd answers are strong ± edges and similarities are
+/// weak priors. The clustering aggregates evidence, so single wrong answers
+/// are outvoted — ACD's quality advantage — at the cost of asking nearly
+/// every uncertain pair — its monetary disadvantage (the trade-off the
+/// paper's Figures 9/10 show).
+ErResult RunAcd(const Table& table,
+                const std::vector<std::pair<int, int>>& candidates,
+                PairOracle* oracle, const AcdConfig& config = {});
+
+}  // namespace power
+
+#endif  // POWER_BASELINES_ACD_H_

@@ -1,0 +1,92 @@
+#include "baselines/cluster_state.h"
+
+#include "util/check.h"
+
+namespace power {
+
+ClusterState::ClusterState(int num_records)
+    : parent_(num_records), rank_(num_records, 0) {
+  for (int i = 0; i < num_records; ++i) parent_[i] = i;
+}
+
+int ClusterState::Find(int x) {
+  POWER_CHECK(x >= 0 && static_cast<size_t>(x) < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+ClusterState::Inference ClusterState::Infer(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return Inference::kYes;
+  auto it = diff_.find(ra);
+  if (it != diff_.end() && it->second.count(rb) > 0) return Inference::kNo;
+  return Inference::kUnknown;
+}
+
+bool ClusterState::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return true;
+
+  bool contradiction = false;
+  auto it = diff_.find(ra);
+  if (it != diff_.end() && it->second.count(rb) > 0) contradiction = true;
+
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  parent_[rb] = ra;
+
+  // Re-home rb's constraints onto ra.
+  auto itb = diff_.find(rb);
+  if (itb != diff_.end()) {
+    std::unordered_set<int> moved = std::move(itb->second);
+    diff_.erase(itb);
+    for (int other : moved) {
+      diff_[other].erase(rb);
+      if (other != ra) {
+        diff_[ra].insert(other);
+        diff_[other].insert(ra);
+      }
+    }
+  }
+  diff_[ra].erase(rb);
+  return !contradiction;
+}
+
+bool ClusterState::MarkDifferent(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  diff_[ra].insert(rb);
+  diff_[rb].insert(ra);
+  return true;
+}
+
+std::unordered_set<uint64_t> ClusterState::MatchedPairs() {
+  std::unordered_set<uint64_t> out;
+  for (const auto& cluster : Clusters()) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        out.insert(PairKey(cluster[i], cluster[j]));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> ClusterState::Clusters() {
+  std::unordered_map<int, std::vector<int>> by_root;
+  for (size_t x = 0; x < parent_.size(); ++x) {
+    by_root[Find(static_cast<int>(x))].push_back(static_cast<int>(x));
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(by_root.size());
+  for (auto& [root, members] : by_root) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace power

@@ -1,0 +1,55 @@
+#ifndef POWER_BASELINES_CLUSTER_STATE_H_
+#define POWER_BASELINES_CLUSTER_STATE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/pair.h"
+
+namespace power {
+
+/// Union-find over records with negative ("different entity") constraints
+/// between clusters — the inference substrate of the transitivity baselines
+/// [Wang et al. SIGMOD'13, Vesdapunt et al. PVLDB'14].
+///
+/// Positive transitivity: a=b, b=c => a=c (shared cluster).
+/// Negative transitivity: a=b, b≠c => a≠c (cluster-level constraint).
+class ClusterState {
+ public:
+  explicit ClusterState(int num_records);
+
+  int Find(int x);
+
+  enum class Inference { kYes, kNo, kUnknown };
+
+  /// What the current answers imply about pair (a, b).
+  Inference Infer(int a, int b);
+
+  /// Applies a YES answer: merges the two clusters. If the clusters were
+  /// marked different, the noisy answers contradict; the merge still happens
+  /// (dropping the constraint) and false is returned — this is exactly the
+  /// uncontrolled error propagation the paper criticizes in Trans.
+  bool Union(int a, int b);
+
+  /// Applies a NO answer: marks the clusters different. Returns false (and
+  /// does nothing) if they are already the same cluster.
+  bool MarkDifferent(int a, int b);
+
+  /// All intra-cluster record pairs, as PairKeys.
+  std::unordered_set<uint64_t> MatchedPairs();
+
+  /// Clusters as lists of record ids (singletons included).
+  std::vector<std::vector<int>> Clusters();
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  // diff_[root] = set of roots known-different. Kept consistent under union
+  // by re-homing the smaller set.
+  std::unordered_map<int, std::unordered_set<int>> diff_;
+};
+
+}  // namespace power
+
+#endif  // POWER_BASELINES_CLUSTER_STATE_H_

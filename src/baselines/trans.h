@@ -1,0 +1,29 @@
+#ifndef POWER_BASELINES_TRANS_H_
+#define POWER_BASELINES_TRANS_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/er_result.h"
+#include "crowd/pair_oracle.h"
+#include "data/table.h"
+
+namespace power {
+
+/// Clean-room implementation of Trans [Wang, Li, Kraska, Franklin, Feng:
+/// "Leveraging transitive relations for crowdsourced joins", SIGMOD 2013].
+///
+/// Processes candidate pairs in descending record-level similarity. A pair
+/// whose answer is implied by positive/negative transitivity over previous
+/// answers is inferred for free; otherwise it is crowdsourced. Questions are
+/// batched per iteration: a pair joins the current batch only if no record it
+/// touches is already in the batch (its answer could otherwise become
+/// inferable mid-batch). Transitivity propagates crowd errors unchecked —
+/// the weakness the paper's evaluation exposes at low worker accuracy.
+ErResult RunTrans(const Table& table,
+                  const std::vector<std::pair<int, int>>& candidates,
+                  PairOracle* oracle);
+
+}  // namespace power
+
+#endif  // POWER_BASELINES_TRANS_H_

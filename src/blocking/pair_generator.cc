@@ -1,0 +1,34 @@
+#include "blocking/pair_generator.h"
+
+#include "blocking/prefix_join.h"
+#include "sim/similarity_matrix.h"
+
+namespace power {
+
+std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
+                                                    double tau) {
+  std::vector<std::pair<int, int>> out;
+  int n = static_cast<int>(table.num_records());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (RecordLevelJaccard(table, i, j) >= tau) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> GenerateCandidates(const Table& table,
+                                                    double tau,
+                                                    CandidateMethod method) {
+  switch (method) {
+    case CandidateMethod::kAllPairs:
+      return AllPairsCandidates(table, tau);
+    case CandidateMethod::kPrefixJoin:
+      return PrefixFilterJoin(table, tau);
+  }
+  return {};
+}
+
+}  // namespace power

@@ -1,0 +1,33 @@
+#ifndef POWER_BLOCKING_PAIR_GENERATOR_H_
+#define POWER_BLOCKING_PAIR_GENERATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/table.h"
+
+namespace power {
+
+/// Pruning stage (paper §2.2 / §7.1): only pairs whose record-level Jaccard
+/// similarity reaches `tau` are kept as graph vertices; everything below is
+/// assumed non-matching without asking the crowd.
+///
+/// Enumerates all n*(n-1)/2 pairs. Fine for Restaurant/Cora-sized tables;
+/// use PrefixFilterJoin for ACMPub scale.
+std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
+                                                    double tau);
+
+/// Candidate generation method selector used by the pipeline config.
+enum class CandidateMethod {
+  kAllPairs,
+  kPrefixJoin,
+};
+
+/// Dispatches to AllPairsCandidates or PrefixFilterJoin (blocking/prefix_join.h).
+std::vector<std::pair<int, int>> GenerateCandidates(const Table& table,
+                                                    double tau,
+                                                    CandidateMethod method);
+
+}  // namespace power
+
+#endif  // POWER_BLOCKING_PAIR_GENERATOR_H_

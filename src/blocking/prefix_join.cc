@@ -1,0 +1,133 @@
+#include "blocking/prefix_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "sim/tokenizer.h"
+#include "util/check.h"
+
+namespace power {
+namespace {
+
+// Token set of a record: word tokens over the concatenation of all attribute
+// values (must match sim/similarity_matrix.cc RecordLevelJaccard).
+std::vector<std::string> RecordTokens(const Table& table, int i) {
+  std::string all;
+  for (size_t k = 0; k < table.schema().num_attributes(); ++k) {
+    all += table.Value(i, k);
+    all += ' ';
+  }
+  return WordTokenSet(all);
+}
+
+// Overlap (intersection size) of two sorted int vectors.
+size_t Overlap(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> PrefixFilterJoin(const Table& table,
+                                                  double tau) {
+  POWER_CHECK(tau > 0.0 && tau <= 1.0);
+  const int n = static_cast<int>(table.num_records());
+
+  // 1. Tokenize, build a global token dictionary with frequencies.
+  std::vector<std::vector<std::string>> raw_tokens(n);
+  std::unordered_map<std::string, int> freq;
+  for (int i = 0; i < n; ++i) {
+    raw_tokens[i] = RecordTokens(table, i);
+    for (const auto& t : raw_tokens[i]) ++freq[t];
+  }
+
+  // 2. Assign token ids so that rarer tokens get smaller ids; record token
+  //    vectors are then sorted by (frequency, token), putting the most
+  //    selective tokens in the prefix.
+  std::vector<std::pair<std::string, int>> vocab(freq.begin(), freq.end());
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  std::unordered_map<std::string, int> token_id;
+  token_id.reserve(vocab.size());
+  for (size_t t = 0; t < vocab.size(); ++t) {
+    token_id[vocab[t].first] = static_cast<int>(t);
+  }
+  std::vector<std::vector<int>> tokens(n);
+  for (int i = 0; i < n; ++i) {
+    tokens[i].reserve(raw_tokens[i].size());
+    for (const auto& t : raw_tokens[i]) tokens[i].push_back(token_id[t]);
+    std::sort(tokens[i].begin(), tokens[i].end());
+  }
+
+  // 3. Process records in increasing token-count order so the index only
+  //    holds records no longer than the probe (one-sided length filter).
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (tokens[a].size() != tokens[b].size()) {
+      return tokens[a].size() < tokens[b].size();
+    }
+    return a < b;
+  });
+
+  // Inverted index: token id -> records whose *prefix* contains it.
+  std::unordered_map<int, std::vector<int>> index;
+  std::vector<std::pair<int, int>> result;
+  std::vector<int> last_seen(n, -1);  // probe-stamped candidate dedup
+
+  for (int step = 0; step < n; ++step) {
+    int x = order[step];
+    const auto& tx = tokens[x];
+    if (tx.empty()) continue;
+    size_t len_x = tx.size();
+    size_t prefix_x = len_x - static_cast<size_t>(std::ceil(tau * len_x)) + 1;
+    prefix_x = std::min(prefix_x, len_x);
+
+    // Probe.
+    for (size_t p = 0; p < prefix_x; ++p) {
+      auto it = index.find(tx[p]);
+      if (it == index.end()) continue;
+      for (int y : it->second) {
+        if (last_seen[y] == step) continue;  // already a candidate this probe
+        last_seen[y] = step;
+        size_t len_y = tokens[y].size();
+        // Length filter: Jaccard >= tau requires tau*len_x <= len_y.
+        if (static_cast<double>(len_y) < tau * static_cast<double>(len_x)) {
+          continue;
+        }
+        // Verification: Jaccard >= tau  <=>  overlap >= tau/(1+tau)*(|x|+|y|).
+        double needed = tau / (1.0 + tau) *
+                        static_cast<double>(len_x + len_y);
+        size_t inter = Overlap(tx, tokens[y]);
+        if (static_cast<double>(inter) + 1e-12 >= needed) {
+          result.emplace_back(std::min(x, y), std::max(x, y));
+        }
+      }
+    }
+    // Insert x's prefix tokens.
+    for (size_t p = 0; p < prefix_x; ++p) {
+      index[tx[p]].push_back(x);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace power

@@ -1,0 +1,46 @@
+#include "core/consolidation.h"
+
+#include "eval/cluster_metrics.h"
+#include "sim/similarity.h"
+
+namespace power {
+
+std::vector<ConsolidatedEntity> ConsolidateEntities(
+    const Table& table, const std::unordered_set<uint64_t>& matched_pairs) {
+  std::vector<ConsolidatedEntity> out;
+  const Schema& schema = table.schema();
+  for (auto& cluster : BuildClusters(table.num_records(), matched_pairs)) {
+    ConsolidatedEntity entity;
+    entity.records = cluster;
+    entity.values.reserve(schema.num_attributes());
+    for (size_t k = 0; k < schema.num_attributes(); ++k) {
+      // Medoid value on this attribute.
+      int best = cluster[0];
+      double best_score = -1.0;
+      for (int candidate : cluster) {
+        const std::string& value = table.Value(candidate, k);
+        double score = 0.0;
+        for (int other : cluster) {
+          if (other == candidate) continue;
+          score += ComputeSimilarity(schema.attribute(k).sim, value,
+                                     table.Value(other, k));
+        }
+        const std::string& best_value = table.Value(best, k);
+        bool wins = score > best_score;
+        if (score == best_score) {
+          wins = value.size() > best_value.size() ||
+                 (value.size() == best_value.size() && value < best_value);
+        }
+        if (wins) {
+          best = candidate;
+          best_score = score;
+        }
+      }
+      entity.values.push_back(table.Value(best, k));
+    }
+    out.push_back(std::move(entity));
+  }
+  return out;
+}
+
+}  // namespace power

@@ -1,0 +1,33 @@
+#ifndef POWER_CORE_CONSOLIDATION_H_
+#define POWER_CORE_CONSOLIDATION_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "data/table.h"
+
+namespace power {
+
+/// A resolved entity: the member records plus one consolidated ("golden")
+/// value per attribute.
+struct ConsolidatedEntity {
+  std::vector<int> records;
+  std::vector<std::string> values;
+};
+
+/// Builds golden records from a resolution result: clusters are the
+/// connected components of `matched_pairs`; each attribute's consolidated
+/// value is the member value with the highest total similarity to the other
+/// members' values (the medoid under the attribute's configured similarity
+/// function) — ties break toward the longer, then lexicographically smaller
+/// value, so dirty abbreviations lose to full forms.
+///
+/// This is the step a downstream consumer actually wants after entity
+/// resolution: one clean row per real-world entity.
+std::vector<ConsolidatedEntity> ConsolidateEntities(
+    const Table& table, const std::unordered_set<uint64_t>& matched_pairs);
+
+}  // namespace power
+
+#endif  // POWER_CORE_CONSOLIDATION_H_

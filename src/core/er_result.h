@@ -1,0 +1,26 @@
+#ifndef POWER_CORE_ER_RESULT_H_
+#define POWER_CORE_ER_RESULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+namespace power {
+
+/// Outcome every entity-resolution method (Power, Power+, and the baselines)
+/// reports: the pairs it declares matching plus the cost counters the paper
+/// compares (questions = monetary cost, iterations = latency).
+struct ErResult {
+  /// PairKey(i, j) of every record pair declared to refer to the same
+  /// entity. Pairs pruned before asking are implicitly non-matching.
+  std::unordered_set<uint64_t> matched_pairs;
+  size_t questions = 0;
+  size_t iterations = 0;
+  /// Time spent deciding which questions to ask (Fig. 30's "assignment
+  /// time"), excluding crowd latency.
+  double assignment_seconds = 0.0;
+};
+
+}  // namespace power
+
+#endif  // POWER_CORE_ER_RESULT_H_

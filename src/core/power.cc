@@ -1,0 +1,181 @@
+#include "core/power.h"
+
+#include <memory>
+
+#include "graph/builder.h"
+#include "group/greedy_grouper.h"
+#include "group/grouped_graph.h"
+#include "group/split_grouper.h"
+#include "sim/similarity_matrix.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace power {
+
+const char* GroupingKindName(GroupingKind kind) {
+  switch (kind) {
+    case GroupingKind::kNone:
+      return "NonGroup";
+    case GroupingKind::kSplit:
+      return "Split";
+    case GroupingKind::kGreedy:
+      return "Greedy";
+  }
+  return "?";
+}
+
+const char* BuilderKindName(BuilderKind kind) {
+  switch (kind) {
+    case BuilderKind::kBruteForce:
+      return "BruteForce";
+    case BuilderKind::kQuickSort:
+      return "QuickSort";
+    case BuilderKind::kRangeTree:
+      return "Index";
+    case BuilderKind::kRangeTreeMd:
+      return "IndexMd";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<GraphBuilder> MakeBuilder(BuilderKind kind, uint64_t seed) {
+  switch (kind) {
+    case BuilderKind::kBruteForce:
+      return std::make_unique<BruteForceBuilder>();
+    case BuilderKind::kQuickSort:
+      return std::make_unique<QuickSortBuilder>(seed);
+    case BuilderKind::kRangeTree:
+      return std::make_unique<RangeTreeBuilder>();
+    case BuilderKind::kRangeTreeMd:
+      return std::make_unique<RangeTreeMdBuilder>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PowerResult PowerFramework::Run(const Table& table,
+                                PairOracle* oracle) const {
+  std::vector<std::pair<int, int>> candidates =
+      GenerateCandidates(table, config_.prune_tau, config_.candidate_method);
+  std::vector<SimilarPair> pairs =
+      ComputePairSimilarities(table, candidates, config_.component_floor);
+  return RunOnPairs(pairs, oracle);
+}
+
+PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
+                                       PairOracle* oracle) const {
+  POWER_CHECK(oracle != nullptr);
+  PowerResult result;
+  result.num_pairs = pairs.size();
+  if (pairs.empty()) return result;
+
+  std::vector<std::vector<double>> sims;
+  sims.reserve(pairs.size());
+  for (const auto& p : pairs) sims.push_back(p.sims);
+
+  Rng rng(config_.seed);
+
+  // 1. Grouping (§4.2) + grouped graph (Definition 5). Ungrouped runs use
+  //    singleton groups built with the configured graph builder (§4.1).
+  Stopwatch grouping_watch;
+  GroupedGraph grouped;
+  if (config_.grouping == GroupingKind::kNone) {
+    result.grouping_seconds = 0.0;
+    Stopwatch graph_watch;
+    grouped = BuildUngrouped(*MakeBuilder(config_.builder, rng.Fork()), sims);
+    result.graph_seconds = graph_watch.ElapsedSeconds();
+  } else {
+    std::unique_ptr<Grouper> grouper;
+    if (config_.grouping == GroupingKind::kSplit) {
+      grouper = std::make_unique<SplitGrouper>();
+    } else {
+      grouper = std::make_unique<GreedyGrouper>();
+    }
+    std::vector<VertexGroup> groups = grouper->Group(sims, config_.epsilon);
+    result.grouping_seconds = grouping_watch.ElapsedSeconds();
+    Stopwatch graph_watch;
+    grouped = BuildGroupedGraph(std::move(groups));
+    result.graph_seconds = graph_watch.ElapsedSeconds();
+  }
+  result.num_groups = grouped.groups.size();
+  result.num_edges = grouped.graph.num_edges();
+
+  // 2. Ask-and-color loop (Algorithm 1 driving a §5 selector; Algorithm 5's
+  //    confidence gate when error_tolerant).
+  ColoringState state(&grouped.graph);
+  std::unique_ptr<QuestionSelector> selector =
+      MakeSelector(config_.selector, rng.Fork());
+  auto budget_left = [&]() {
+    return config_.max_questions == 0 ||
+           result.questions < config_.max_questions;
+  };
+  while (!state.AllColored() && budget_left()) {
+    Stopwatch assign_watch;
+    std::vector<int> batch = selector->NextBatch(state);
+    result.assignment_seconds += assign_watch.ElapsedSeconds();
+    POWER_CHECK_MSG(!batch.empty(), "selector must make progress");
+    if (config_.max_questions > 0) {
+      size_t remaining = config_.max_questions - result.questions;
+      if (batch.size() > remaining) batch.resize(remaining);
+    }
+    ++result.iterations;
+    // "If a group is selected to ask, we randomly select a pair in the
+    // group and take the answer of this pair as the answer of the group."
+    // The whole batch is one crowd round: posted simultaneously (platform
+    // oracles turn it into HITs), so a vertex is asked even if the answer
+    // of another batch member deduces its color (MultiPath mid-vertices of
+    // different paths can be comparable; §5.3.1 resolves the resulting
+    // conflicts by majority voting, which ApplyAnswer implements).
+    std::vector<std::pair<int, int>> questions;
+    questions.reserve(batch.size());
+    for (int g : batch) {
+      const auto& members = grouped.groups[g].members;
+      const SimilarPair& rep = pairs[members[rng.UniformIndex(members.size())]];
+      questions.push_back({rep.i, rep.j});
+    }
+    std::vector<VoteResult> votes = oracle->AskBatch(questions);
+    POWER_CHECK(votes.size() == batch.size());
+    result.questions += batch.size();
+    for (size_t b = 0; b < batch.size(); ++b) {
+      int g = batch[b];
+      const VoteResult& vote = votes[b];
+      if (config_.error_tolerant &&
+          vote.confidence() < config_.confidence_threshold) {
+        state.MarkBlue(g);
+      } else {
+        state.ApplyAnswer(g, vote.majority_yes());
+      }
+    }
+  }
+
+  // 3. Harvest GREEN groups at pair granularity.
+  for (size_t g = 0; g < grouped.groups.size(); ++g) {
+    if (state.color(static_cast<int>(g)) == Color::kGreen) {
+      for (int v : grouped.groups[g].members) {
+        result.matched_pairs.insert(PairKey(pairs[v].i, pairs[v].j));
+      }
+    }
+  }
+  result.num_blue_groups = state.num_blue();
+  result.budget_exhausted = !state.AllColored();
+
+  // 4. Power+: resolve pairs stuck in BLUE groups via the §6 histograms.
+  //    The same estimator settles groups left uncolored by an exhausted
+  //    question budget.
+  if ((config_.error_tolerant && result.num_blue_groups > 0) ||
+      result.budget_exhausted) {
+    for (const auto& [v, color] :
+         ResolveBlueVertices(grouped, state, sims, config_.tolerance)) {
+      if (color == Color::kGreen) {
+        result.matched_pairs.insert(PairKey(pairs[v].i, pairs[v].j));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace power

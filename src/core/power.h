@@ -1,0 +1,88 @@
+#ifndef POWER_CORE_POWER_H_
+#define POWER_CORE_POWER_H_
+
+#include <vector>
+
+#include "blocking/pair_generator.h"
+#include "core/er_result.h"
+#include "core/error_tolerance.h"
+#include "crowd/pair_oracle.h"
+#include "data/table.h"
+#include "select/selector.h"
+#include "sim/pair.h"
+
+namespace power {
+
+enum class GroupingKind { kNone, kSplit, kGreedy };
+enum class BuilderKind { kBruteForce, kQuickSort, kRangeTree, kRangeTreeMd };
+
+const char* GroupingKindName(GroupingKind kind);
+const char* BuilderKindName(BuilderKind kind);
+
+/// Configuration of the full Power / Power+ pipeline. Defaults mirror the
+/// paper's experimental setup (§7.2): split grouping with ε = 0.1, the
+/// index-based graph builder, topological-sorting question selection; Power+
+/// additionally enables the error-tolerant coloring of §6.
+struct PowerConfig {
+  // Pruning (§7.1): record-level Jaccard threshold and per-attribute floor.
+  double prune_tau = 0.3;
+  double component_floor = 0.2;
+  CandidateMethod candidate_method = CandidateMethod::kAllPairs;
+
+  GroupingKind grouping = GroupingKind::kSplit;
+  double epsilon = 0.1;
+
+  BuilderKind builder = BuilderKind::kRangeTree;
+  SelectorKind selector = SelectorKind::kTopoSort;
+
+  // Power+ (§6). With error_tolerant = false the confidence gate is off and
+  // every voted answer propagates (plain Power).
+  bool error_tolerant = false;
+  /// Hard cap on crowd questions; 0 = unlimited. When the budget runs out
+  /// with vertices still uncolored, the remaining pairs are settled by the
+  /// §6 histogram estimator instead of the crowd (budgeted extension of
+  /// Algorithm 5).
+  size_t max_questions = 0;
+  double confidence_threshold = 0.8;
+  ErrorToleranceConfig tolerance;
+
+  uint64_t seed = 7;
+};
+
+/// Pipeline outcome: the common ER result plus pipeline statistics used by
+/// the benches (graph/grouping sizes and times).
+struct PowerResult : ErResult {
+  size_t num_pairs = 0;   // candidate pairs after pruning (Table 3 "#Pairs")
+  size_t num_groups = 0;  // grouped-graph vertices
+  size_t num_edges = 0;   // grouped-graph edges
+  size_t num_blue_groups = 0;
+  /// True iff max_questions stopped the loop before all groups were colored.
+  bool budget_exhausted = false;
+  double grouping_seconds = 0.0;
+  double graph_seconds = 0.0;
+};
+
+/// The partial-order-based crowdsourced entity resolution framework
+/// (the paper's system; Algorithm 1 with the refinements of §4-§6).
+class PowerFramework {
+ public:
+  explicit PowerFramework(const PowerConfig& config) : config_(config) {}
+
+  const PowerConfig& config() const { return config_; }
+
+  /// End-to-end: prune candidate pairs from the table, compute similarity
+  /// vectors, then resolve via RunOnPairs.
+  PowerResult Run(const Table& table, PairOracle* oracle) const;
+
+  /// Resolution over precomputed similar pairs (used by benches that sweep
+  /// pipeline stages, and by the paper-example fixtures).
+  PowerResult RunOnPairs(const std::vector<SimilarPair>& pairs,
+                         PairOracle* oracle) const;
+
+ private:
+  PowerConfig config_;
+};
+
+}  // namespace power
+
+#endif  // POWER_CORE_POWER_H_

@@ -1,0 +1,4 @@
+#include "crowd/cost_model.h"
+
+// CostModel is header-only; this translation unit anchors the module in the
+// build so every library component has a .cc home.

@@ -1,0 +1,30 @@
+#ifndef POWER_CROWD_COST_MODEL_H_
+#define POWER_CROWD_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace power {
+
+/// The paper's AMT pricing (§7.1): every 10 pair-questions are packed into
+/// one HIT paid 10 cents (so effectively 1 cent per question before
+/// worker-multiplicity, which AMT charges per assignment).
+struct CostModel {
+  size_t pairs_per_hit = 10;
+  double dollars_per_hit = 0.10;
+  int workers_per_question = 5;
+
+  size_t Hits(size_t questions) const {
+    return (questions + pairs_per_hit - 1) / pairs_per_hit;
+  }
+
+  /// Total dollars: each HIT is answered by `workers_per_question` distinct
+  /// workers, each paid the HIT price.
+  double Dollars(size_t questions) const {
+    return static_cast<double>(Hits(questions)) * dollars_per_hit *
+           workers_per_question;
+  }
+};
+
+}  // namespace power
+
+#endif  // POWER_CROWD_COST_MODEL_H_

@@ -1,0 +1,39 @@
+#ifndef POWER_CROWD_PAIR_ORACLE_H_
+#define POWER_CROWD_PAIR_ORACLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "crowd/worker.h"
+
+namespace power {
+
+/// The crowd as the algorithms see it: pair questions in, voted answers
+/// out. CrowdOracle (crowd/answer_cache.h) is the direct simulator-backed
+/// implementation; PlatformOracle (platform/platform_oracle.h) routes the
+/// same questions through the full HIT-based crowdsourcing platform
+/// simulation; production deployments implement this against a real
+/// platform.
+class PairOracle {
+ public:
+  virtual ~PairOracle() = default;
+
+  /// Votes of the z workers on the pair (i, j). Asking the same pair twice
+  /// must return the same votes (the replay protocol of §7.1).
+  virtual VoteResult Ask(int i, int j) = 0;
+
+  /// One crowd round: all pairs posted simultaneously. The default loops
+  /// over Ask; platform-backed oracles override it to batch the pairs into
+  /// HITs and account one round of latency.
+  virtual std::vector<VoteResult> AskBatch(
+      const std::vector<std::pair<int, int>>& pairs) {
+    std::vector<VoteResult> out;
+    out.reserve(pairs.size());
+    for (const auto& [i, j] : pairs) out.push_back(Ask(i, j));
+    return out;
+  }
+};
+
+}  // namespace power
+
+#endif  // POWER_CROWD_PAIR_ORACLE_H_

@@ -1,0 +1,76 @@
+#include "crowd/quality_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace power {
+
+QualityEstimate EstimateWorkerQuality(const std::vector<ObservedVote>& votes,
+                                      int num_workers, int num_questions,
+                                      int max_iterations) {
+  POWER_CHECK(num_workers >= 0);
+  POWER_CHECK(num_questions >= 0);
+  QualityEstimate out;
+  out.worker_accuracy.assign(num_workers, 0.7);
+  out.question_posterior.assign(num_questions, 0.5);
+  if (votes.empty()) return out;
+
+  // Group votes by question for the E-step and by worker for the M-step.
+  std::vector<std::vector<size_t>> by_question(num_questions);
+  std::vector<std::vector<size_t>> by_worker(num_workers);
+  for (size_t v = 0; v < votes.size(); ++v) {
+    POWER_CHECK(votes[v].question >= 0 && votes[v].question < num_questions);
+    POWER_CHECK(votes[v].worker >= 0 && votes[v].worker < num_workers);
+    by_question[votes[v].question].push_back(v);
+    by_worker[votes[v].worker].push_back(v);
+  }
+
+  // Initialization: posterior = unweighted vote fraction. This anchors the
+  // "workers are mostly honest" mode of the bimodal likelihood.
+  for (int q = 0; q < num_questions; ++q) {
+    if (by_question[q].empty()) continue;
+    int yes = 0;
+    for (size_t v : by_question[q]) {
+      if (votes[v].yes) ++yes;
+    }
+    out.question_posterior[q] =
+        static_cast<double>(yes) / by_question[q].size();
+  }
+
+  double prev_change = 1.0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    out.iterations_run = iter + 1;
+    // M-step: accuracy = expected agreement with the current posteriors.
+    for (int w = 0; w < num_workers; ++w) {
+      if (by_worker[w].empty()) continue;
+      double agreement = 0.0;
+      for (size_t v : by_worker[w]) {
+        double p_yes = out.question_posterior[votes[v].question];
+        agreement += votes[v].yes ? p_yes : 1.0 - p_yes;
+      }
+      out.worker_accuracy[w] = std::clamp(
+          agreement / static_cast<double>(by_worker[w].size()), 0.05, 0.95);
+    }
+    // E-step: log-odds posterior per question.
+    double change = 0.0;
+    for (int q = 0; q < num_questions; ++q) {
+      if (by_question[q].empty()) continue;
+      double log_odds = 0.0;
+      for (size_t v : by_question[q]) {
+        double a = out.worker_accuracy[votes[v].worker];
+        double weight = std::log(a / (1.0 - a));
+        log_odds += votes[v].yes ? weight : -weight;
+      }
+      double posterior = 1.0 / (1.0 + std::exp(-log_odds));
+      change += std::abs(posterior - out.question_posterior[q]);
+      out.question_posterior[q] = posterior;
+    }
+    if (change < 1e-9 && prev_change < 1e-9) break;
+    prev_change = change;
+  }
+  return out;
+}
+
+}  // namespace power

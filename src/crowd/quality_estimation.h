@@ -1,0 +1,42 @@
+#ifndef POWER_CROWD_QUALITY_ESTIMATION_H_
+#define POWER_CROWD_QUALITY_ESTIMATION_H_
+
+#include <vector>
+
+namespace power {
+
+/// One observed worker vote on one question.
+struct ObservedVote {
+  int question = -1;
+  int worker = -1;
+  bool yes = false;
+};
+
+struct QualityEstimate {
+  /// Estimated accuracy per worker id (workers with no votes keep the
+  /// prior 0.7).
+  std::vector<double> worker_accuracy;
+  /// Posterior P(true answer = YES) per question id.
+  std::vector<double> question_posterior;
+  int iterations_run = 0;
+};
+
+/// Binary symmetric-error Dawid-Skene EM: jointly estimates per-worker
+/// accuracies and per-question answer posteriors from the vote matrix
+/// alone — no gold labels. This is the standard crowdsourcing quality-
+/// control technique the paper's related work (§2.2.2) points to; the
+/// estimates feed weighted majority voting (crowd/weighted_vote.h) when
+/// the platform's approval rates are uninformative.
+///
+/// E-step: per-question posterior by log-odds aggregation under current
+/// accuracies. M-step: each worker's accuracy = expected agreement of their
+/// votes with the posteriors. Initialization from unweighted majority
+/// voting anchors the label symmetry (the all-workers-adversarial mirror
+/// solution). Accuracies are clamped to [0.05, 0.95] for stability.
+QualityEstimate EstimateWorkerQuality(const std::vector<ObservedVote>& votes,
+                                      int num_workers, int num_questions,
+                                      int max_iterations = 30);
+
+}  // namespace power
+
+#endif  // POWER_CROWD_QUALITY_ESTIMATION_H_

@@ -1,0 +1,27 @@
+#include "crowd/weighted_vote.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace power {
+
+double MatchPosterior(const std::vector<WorkerVote>& votes) {
+  // log-odds of YES; uniform prior contributes 0.
+  double log_odds = 0.0;
+  for (const WorkerVote& v : votes) {
+    double a = std::clamp(v.accuracy, 0.01, 0.99);
+    double weight = std::log(a / (1.0 - a));
+    log_odds += v.yes ? weight : -weight;
+  }
+  return 1.0 / (1.0 + std::exp(-log_odds));
+}
+
+WeightedVoteResult WeightedMajority(const std::vector<WorkerVote>& votes) {
+  double posterior = MatchPosterior(votes);
+  WeightedVoteResult result;
+  result.yes = posterior > 0.5;
+  result.confidence = std::max(posterior, 1.0 - posterior);
+  return result;
+}
+
+}  // namespace power

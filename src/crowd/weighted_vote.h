@@ -1,0 +1,35 @@
+#ifndef POWER_CROWD_WEIGHTED_VOTE_H_
+#define POWER_CROWD_WEIGHTED_VOTE_H_
+
+#include <vector>
+
+namespace power {
+
+/// One worker's vote with the worker's nominal accuracy (the approval rate
+/// the platform exposes — the only quality signal AMT actually gives).
+struct WorkerVote {
+  bool yes = false;
+  double accuracy = 0.5;
+};
+
+/// Posterior probability that the true answer is YES given independent
+/// worker votes, each correct with their nominal accuracy, under a uniform
+/// prior — naive-Bayes / log-odds aggregation, i.e. the "weighted majority
+/// voting" the paper uses to integrate answers (§7.1). Accuracies are
+/// clamped to [0.01, 0.99] so a single overconfident worker cannot saturate
+/// the posterior.
+double MatchPosterior(const std::vector<WorkerVote>& votes);
+
+struct WeightedVoteResult {
+  bool yes = false;
+  /// max(posterior, 1 - posterior): the confidence of the decided answer,
+  /// playing the role of the paper's c = y/z under plain majority voting.
+  double confidence = 0.5;
+};
+
+/// Decides by the posterior. Empty votes decide NO at confidence 0.5.
+WeightedVoteResult WeightedMajority(const std::vector<WorkerVote>& votes);
+
+}  // namespace power
+
+#endif  // POWER_CROWD_WEIGHTED_VOTE_H_

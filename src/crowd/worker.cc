@@ -1,0 +1,49 @@
+#include "crowd/worker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace power {
+
+CrowdSimulator::CrowdSimulator(WorkerBand band, WorkerModel model,
+                               int workers_per_question, uint64_t seed)
+    : band_(band),
+      model_(model),
+      workers_per_question_(workers_per_question),
+      rng_(seed) {
+  POWER_CHECK(workers_per_question >= 1);
+  POWER_CHECK(band.accuracy_lo <= band.accuracy_hi);
+}
+
+std::vector<WorkerVote> CrowdSimulator::AskDetailed(bool truth,
+                                                    double difficulty) {
+  difficulty = std::clamp(difficulty, 0.0, 1.0);
+  std::vector<WorkerVote> votes;
+  votes.reserve(workers_per_question_);
+  for (int w = 0; w < workers_per_question_; ++w) {
+    double accuracy =
+        rng_.UniformDouble(band_.accuracy_lo, band_.accuracy_hi);
+    double p_correct = accuracy;
+    if (model_ == WorkerModel::kTaskDifficulty) {
+      double gamma = 1.0 + 4.0 * (1.0 - accuracy);
+      p_correct = 0.5 + 0.5 * std::pow(1.0 - difficulty, gamma);
+    }
+    bool correct = rng_.Bernoulli(p_correct);
+    votes.push_back({correct ? truth : !truth, accuracy});
+  }
+  return votes;
+}
+
+VoteResult CrowdSimulator::Ask(bool truth, double difficulty) {
+  VoteResult result;
+  result.total_votes = workers_per_question_;
+  for (const WorkerVote& v : AskDetailed(truth, difficulty)) {
+    if (v.yes) ++result.yes_votes;
+  }
+  return result;
+}
+
+}  // namespace power

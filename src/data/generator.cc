@@ -1,0 +1,406 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace power {
+namespace {
+
+// Small shared pools: different entities drawing from the same pools is what
+// creates the moderately-similar non-matching pairs that make the partial
+// order non-trivial (cf. the paper's restaurant example where distinct
+// restaurants share city and street tokens).
+const char* const kCities[] = {"atlanta",  "new york", "los angeles",
+                               "san francisco", "chicago", "boston"};
+const char* const kCityVariants[] = {"city of ", "", "", ""};
+const char* const kStreetTypes[] = {"st.", "rd.", "ave.", "dr.", "blvd."};
+const char* const kStreetTypeSynonyms[] = {"street", "road", "avenue",
+                                           "drive", "boulevard"};
+const char* const kCategories[] = {
+    "american",      "french",      "italian",      "international",
+    "cafe",          "southwestern", "european french", "american (new)",
+    "seafood",       "steakhouse",  "asian",        "mediterranean",
+    "conference",    "journal",     "techreport",   "inproceedings"};
+const char* const kTitleVocab[] = {
+    "query",     "processing", "database",  "systems",  "efficient",
+    "scalable",  "learning",   "crowd",     "entity",   "resolution",
+    "graph",     "index",      "join",      "search",   "approximate",
+    "parallel",  "distributed", "adaptive", "optimal",  "analysis",
+    "mining",    "stream",     "similarity", "selection", "estimation"};
+const char* const kVenueVocab[] = {
+    "transactions", "journal", "proceedings", "conference", "symposium",
+    "international", "acm",    "ieee",        "data",       "engineering",
+    "management",   "knowledge", "discovery", "vldb",       "sigmod"};
+const char* const kLastNames[] = {
+    "wang", "li", "chen", "smith", "garcia", "kumar", "johnson", "lee",
+    "brown", "davis", "miller", "zhang", "feng", "deng", "chai", "franklin"};
+// Shared name/street vocabularies: distinct entities drawing words from the
+// same pools is what produces the large borderline candidate sets of
+// Table 3 (e.g. 5,010 pruned pairs among 858 restaurants).
+const char* const kNameWords[] = {
+    "cafe",   "grill",  "restaurant", "house",  "room",   "dining",
+    "kitchen", "bistro", "bar",        "inn",    "palace", "garden",
+    "golden", "royal",  "little",     "grand",  "blue",   "corner",
+    "park",   "villa",  "star",       "sunset", "ocean",  "brick"};
+const char* const kStreetNames[] = {
+    "peachtree", "main",      "oak",      "maple",    "market",
+    "broadway",  "sunset",    "hill",     "lake",     "river",
+    "spring",    "union",     "washington", "franklin", "madison",
+    "jefferson", "highland",  "valley",   "cedar",    "elm"};
+
+template <size_t N>
+const char* PickFrom(Rng& rng, const char* const (&pool)[N]) {
+  return pool[rng.UniformIndex(N)];
+}
+
+}  // namespace
+
+DatasetProfile RestaurantProfile() {
+  DatasetProfile p;
+  p.name = "Restaurant";
+  p.num_records = 858;
+  p.num_entities = 752;
+  p.dirtiness = 0.18;  // Easy dataset: light perturbations.
+  p.cluster_skew = 0.2;
+  p.brand_share = 0.65;  // Fodors/Zagat restaurants are franchise-heavy.
+  p.human_hardness = 0.15;  // humans resolve restaurants easily
+  p.attributes = {
+      {"name", AttributeKind::kProperName, SimilarityFunction::kBigramJaccard},
+      {"address", AttributeKind::kAddress, SimilarityFunction::kBigramJaccard},
+      {"city", AttributeKind::kCity, SimilarityFunction::kBigramJaccard},
+      {"flavor", AttributeKind::kCategory,
+       SimilarityFunction::kBigramJaccard}};
+  return p;
+}
+
+DatasetProfile CoraProfile() {
+  DatasetProfile p;
+  p.name = "Cora";
+  p.num_records = 997;
+  p.num_entities = 191;
+  p.dirtiness = 0.45;  // Hard, dirty dataset with large duplicate clusters.
+  p.human_hardness = 0.8;  // dirty, professional content: hard for workers
+  p.cluster_skew = 0.8;
+  p.attributes = {
+      {"author", AttributeKind::kPersonList,
+       SimilarityFunction::kBigramJaccard},
+      {"title", AttributeKind::kTitle, SimilarityFunction::kBigramJaccard},
+      {"journal", AttributeKind::kVenue, SimilarityFunction::kBigramJaccard},
+      {"year", AttributeKind::kYear, SimilarityFunction::kBigramJaccard},
+      {"pages", AttributeKind::kPages, SimilarityFunction::kBigramJaccard,
+       /*empty_prob=*/0.35},
+      {"publisher", AttributeKind::kVenue,
+       SimilarityFunction::kBigramJaccard},
+      {"type", AttributeKind::kCategory, SimilarityFunction::kBigramJaccard},
+      {"editor", AttributeKind::kPersonList,
+       SimilarityFunction::kBigramJaccard, /*empty_prob=*/0.55}};
+  return p;
+}
+
+DatasetProfile AcmPubProfile(double scale) {
+  POWER_CHECK(scale > 0.0 && scale <= 1.0);
+  DatasetProfile p;
+  p.name = "ACMPub";
+  p.num_records = static_cast<size_t>(std::lround(66879 * scale));
+  p.num_entities = static_cast<size_t>(std::lround(5347 * scale));
+  p.num_entities = std::max<size_t>(1, std::min(p.num_entities,
+                                                p.num_records));
+  p.dirtiness = 0.30;
+  p.cluster_skew = 0.6;
+  p.human_hardness = 0.45;
+  p.attributes = {
+      {"author", AttributeKind::kPersonList,
+       SimilarityFunction::kBigramJaccard},
+      {"title", AttributeKind::kTitle, SimilarityFunction::kBigramJaccard},
+      {"conference", AttributeKind::kVenue,
+       SimilarityFunction::kBigramJaccard},
+      {"year", AttributeKind::kYear, SimilarityFunction::kBigramJaccard}};
+  return p;
+}
+
+std::string DatasetGenerator::CoinedWord(size_t min_len, size_t max_len) {
+  static const char* const kOnsets[] = {"b", "c", "d", "f", "g", "k", "l",
+                                        "m", "n", "p", "r", "s", "t", "v",
+                                        "ch", "br", "gr", "st", "tr"};
+  static const char* const kVowels[] = {"a", "e", "i", "o", "u", "ia", "ou"};
+  size_t target = min_len + rng_.UniformIndex(max_len - min_len + 1);
+  std::string w;
+  while (w.size() < target) {
+    w += kOnsets[rng_.UniformIndex(std::size(kOnsets))];
+    w += kVowels[rng_.UniformIndex(std::size(kVowels))];
+  }
+  if (w.size() > max_len) w.resize(max_len);
+  return w;
+}
+
+std::string DatasetGenerator::TypoWord(const std::string& word) {
+  if (word.empty()) return word;
+  std::string w = word;
+  size_t pos = rng_.UniformIndex(w.size());
+  switch (rng_.UniformIndex(3)) {
+    case 0:  // substitution
+      w[pos] = static_cast<char>('a' + rng_.UniformIndex(26));
+      break;
+    case 1:  // deletion
+      w.erase(pos, 1);
+      break;
+    default:  // insertion
+      w.insert(w.begin() + pos, static_cast<char>('a' + rng_.UniformIndex(26)));
+      break;
+  }
+  return w;
+}
+
+std::string DatasetGenerator::CleanValue(const AttributeSpec& spec,
+                                         double brand_share) {
+  if (spec.empty_prob > 0.0 && rng_.Bernoulli(spec.empty_prob)) return "";
+  switch (spec.kind) {
+    case AttributeKind::kProperName: {
+      // A brand phrase shared across entities (franchise effect), or one
+      // coined word; plus 1-2 pool words for cross-entity token overlap.
+      std::vector<std::string> parts;
+      if (!brand_pool_.empty() && rng_.Bernoulli(brand_share)) {
+        parts.push_back(rng_.Pick(brand_pool_));
+      } else {
+        parts.push_back(CoinedWord(4, 9));
+      }
+      parts.push_back(PickFrom(rng_, kNameWords));
+      if (rng_.Bernoulli(0.6)) parts.push_back(PickFrom(rng_, kNameWords));
+      rng_.Shuffle(&parts);
+      return Join(parts, " ");
+    }
+    case AttributeKind::kAddress: {
+      std::string number = std::to_string(1 + rng_.UniformInt(0, 98));
+      return number + " " + PickFrom(rng_, kStreetNames) + " " +
+             PickFrom(rng_, kStreetTypes);
+    }
+    case AttributeKind::kCity:
+      return std::string(PickFrom(rng_, kCityVariants)) +
+             PickFrom(rng_, kCities);
+    case AttributeKind::kCategory:
+      return PickFrom(rng_, kCategories);
+    case AttributeKind::kPersonList: {
+      size_t authors = 1 + rng_.UniformIndex(3);
+      std::vector<std::string> parts;
+      for (size_t i = 0; i < authors; ++i) {
+        std::string initial(1, static_cast<char>('a' + rng_.UniformIndex(26)));
+        parts.push_back(initial + ". " + PickFrom(rng_, kLastNames));
+      }
+      return Join(parts, ", ");
+    }
+    case AttributeKind::kTitle: {
+      size_t words = 4 + rng_.UniformIndex(6);
+      std::vector<std::string> parts;
+      for (size_t i = 0; i < words; ++i) {
+        parts.push_back(PickFrom(rng_, kTitleVocab));
+      }
+      return Join(parts, " ");
+    }
+    case AttributeKind::kVenue:
+      // Venues come from a fixed pool: real journals/conferences repeat
+      // across many publications, quantizing the similarity values.
+      return venue_pool_.empty() ? PickFrom(rng_, kVenueVocab)
+                                 : rng_.Pick(venue_pool_);
+    case AttributeKind::kYear:
+      return std::to_string(1980 + rng_.UniformInt(0, 35));
+    case AttributeKind::kPages: {
+      int start = 1 + rng_.UniformInt(0, 899);
+      int len = 5 + rng_.UniformInt(0, 25);
+      return "pp. " + std::to_string(start) + "-" +
+             std::to_string(start + len);
+    }
+  }
+  return "";
+}
+
+std::string DatasetGenerator::Perturb(const AttributeSpec& spec,
+                                      const std::string& value,
+                                      double dirtiness) {
+  // Categorical / numeric attributes are either copied verbatim or replaced
+  // wholesale (a wrong year, a different category). Their similarities are
+  // therefore near-binary - exactly 1.0 for agreeing duplicates - which is
+  // what real Cora/ACMPub attributes look like and what gives the partial
+  // order long chains.
+  switch (spec.kind) {
+    case AttributeKind::kYear:
+      if (rng_.Bernoulli(dirtiness * 0.25)) {
+        return CleanValue(spec, 0.0);
+      }
+      return value;
+    case AttributeKind::kCategory:
+      if (rng_.Bernoulli(dirtiness * 0.2)) {
+        return CleanValue(spec, 0.0);
+      }
+      return value;
+    case AttributeKind::kPages:
+      if (rng_.Bernoulli(dirtiness * 0.3)) {
+        return CleanValue(spec, 0.0);
+      }
+      return value;
+    default:
+      return PerturbTokens(spec, value, dirtiness);
+  }
+}
+
+std::string DatasetGenerator::PerturbTokens(const AttributeSpec& spec,
+                                            const std::string& value,
+                                            double dirtiness) {
+  std::vector<std::string> tokens = SplitWhitespace(value);
+  if (tokens.empty()) return value;
+
+  // Each perturbation fires independently with probability tied to
+  // dirtiness; several may apply to the same duplicate.
+  // 1. Abbreviate a word to its initial ("west" -> "w.").
+  if (rng_.Bernoulli(dirtiness) && tokens.size() > 1) {
+    size_t i = rng_.UniformIndex(tokens.size());
+    if (tokens[i].size() > 2 && std::isalpha(
+            static_cast<unsigned char>(tokens[i][0]))) {
+      tokens[i] = std::string(1, tokens[i][0]) + ".";
+    }
+  }
+  // 2. Drop a token (but never the last one standing).
+  if (rng_.Bernoulli(dirtiness * 0.8) && tokens.size() > 1) {
+    tokens.erase(tokens.begin() + rng_.UniformIndex(tokens.size()));
+  }
+  // 3. Swap two adjacent tokens.
+  if (rng_.Bernoulli(dirtiness * 0.6) && tokens.size() > 1) {
+    size_t i = rng_.UniformIndex(tokens.size() - 1);
+    std::swap(tokens[i], tokens[i + 1]);
+  }
+  // 4. Typo inside a token.
+  if (rng_.Bernoulli(dirtiness)) {
+    size_t i = rng_.UniformIndex(tokens.size());
+    tokens[i] = TypoWord(tokens[i]);
+  }
+  // 5. Parenthesize the final token ("buckhead" -> "(buckhead)").
+  if (rng_.Bernoulli(dirtiness * 0.5)) {
+    tokens.back() = "(" + tokens.back() + ")";
+  }
+  // 6. Street-type synonym substitution (addresses only).
+  if (spec.kind == AttributeKind::kAddress && rng_.Bernoulli(dirtiness)) {
+    for (auto& t : tokens) {
+      for (size_t s = 0; s < std::size(kStreetTypes); ++s) {
+        if (t == kStreetTypes[s]) {
+          t = kStreetTypeSynonyms[s];
+          break;
+        }
+      }
+    }
+  }
+  // 7. "city of" prefix toggle (cities only).
+  if (spec.kind == AttributeKind::kCity && rng_.Bernoulli(dirtiness)) {
+    if (tokens.size() > 1 && tokens[0] == "city" && tokens[1] == "of") {
+      tokens.erase(tokens.begin(), tokens.begin() + 2);
+    } else {
+      tokens.insert(tokens.begin(), {"city", "of"});
+    }
+    if (tokens.empty()) tokens.push_back("city");
+  }
+  return Join(tokens, " ");
+}
+
+Table DatasetGenerator::Generate(const DatasetProfile& profile) {
+  POWER_CHECK(profile.num_entities >= 1);
+  POWER_CHECK(profile.num_records >= profile.num_entities);
+
+  std::vector<Attribute> attrs;
+  for (const auto& spec : profile.attributes) {
+    attrs.push_back({spec.name, spec.sim});
+  }
+  Table table{Schema(std::move(attrs))};
+
+  // Brand pool: a handful of shared phrases reused by many entities.
+  brand_pool_.clear();
+  size_t num_brands = std::max<size_t>(3, profile.num_entities / 25);
+  for (size_t b = 0; b < num_brands; ++b) {
+    brand_pool_.push_back(CoinedWord(5, 10));
+  }
+  // Venue pool: ~20 fixed multi-word venue names.
+  venue_pool_.clear();
+  for (size_t v = 0; v < 20; ++v) {
+    size_t words = 2 + rng_.UniformIndex(3);
+    std::vector<std::string> parts;
+    for (size_t i = 0; i < words; ++i) {
+      parts.push_back(PickFrom(rng_, kVenueVocab));
+    }
+    venue_pool_.push_back(Join(parts, " "));
+  }
+
+  // Clean entity values.
+  std::vector<Entity> entities(profile.num_entities);
+  for (auto& e : entities) {
+    for (const auto& spec : profile.attributes) {
+      e.values.push_back(CleanValue(spec, profile.brand_share));
+    }
+  }
+
+  // Cluster sizes: one record per entity, then distribute the surplus with
+  // configurable skew so Cora-like profiles get a few very large clusters.
+  std::vector<size_t> cluster_size(profile.num_entities, 1);
+  size_t surplus = profile.num_records - profile.num_entities;
+  for (size_t d = 0; d < surplus; ++d) {
+    size_t e;
+    if (rng_.Bernoulli(profile.cluster_skew)) {
+      // Preferential attachment over a small head of entities.
+      size_t head = std::max<size_t>(1, profile.num_entities / 10);
+      e = rng_.UniformIndex(head);
+    } else {
+      e = rng_.UniformIndex(profile.num_entities);
+    }
+    ++cluster_size[e];
+  }
+
+  // Emit records. The first record of each cluster is the clean value; the
+  // rest are perturbed duplicates.
+  std::vector<std::pair<size_t, bool>> emission;  // (entity, is_duplicate)
+  for (size_t e = 0; e < profile.num_entities; ++e) {
+    emission.push_back({e, false});
+    for (size_t c = 1; c < cluster_size[e]; ++c) emission.push_back({e, true});
+  }
+  rng_.Shuffle(&emission);
+
+  // Each entity has a small number of distinct *representations* per
+  // attribute (variant 0 = clean, 1 = lightly dirty, 2 = heavily dirty) and
+  // duplicates pick a variant level. This mirrors real ER data, where an
+  // entity recurs as a handful of exact string variants: it quantizes the
+  // similarity vectors (same-variant pairs hit similarity 1.0 exactly) and
+  // correlates dirtiness across attributes - both are what give the partial
+  // order its long chains and the grouping its compression.
+  constexpr int kVariants = 3;
+  std::vector<std::array<std::vector<std::string>, kVariants>> variants(
+      profile.num_entities);
+  for (size_t e = 0; e < profile.num_entities; ++e) {
+    for (int v = 0; v < kVariants; ++v) {
+      variants[e][v].reserve(profile.attributes.size());
+    }
+    for (size_t k = 0; k < profile.attributes.size(); ++k) {
+      const std::string& clean = entities[e].values[k];
+      variants[e][0].push_back(clean);
+      variants[e][1].push_back(
+          Perturb(profile.attributes[k], clean, profile.dirtiness));
+      variants[e][2].push_back(Perturb(
+          profile.attributes[k],
+          Perturb(profile.attributes[k], clean, profile.dirtiness),
+          profile.dirtiness));
+    }
+  }
+
+  for (const auto& [e, dup] : emission) {
+    Record r;
+    r.entity_id = static_cast<int>(e);
+    int level = 0;
+    if (dup) {
+      double u = rng_.UniformDouble(0.0, 1.0);
+      level = u < 0.45 ? 1 : (u < 0.75 ? 2 : 0);
+    }
+    r.values = variants[e][level];
+    table.Add(std::move(r));
+  }
+  return table;
+}
+
+}  // namespace power

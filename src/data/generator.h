@@ -1,0 +1,101 @@
+#ifndef POWER_DATA_GENERATOR_H_
+#define POWER_DATA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace power {
+
+/// What kind of value an attribute holds; drives both clean-value generation
+/// and the perturbations applied to duplicate records.
+enum class AttributeKind {
+  kProperName,  // restaurant / venue names: 2-4 coined words
+  kAddress,     // "181 w. peachtree st."
+  kCity,        // drawn from a small shared pool
+  kCategory,    // flavor / publication type: small shared pool
+  kPersonList,  // "g. li, j. wang" style author lists
+  kTitle,       // 4-9 common-vocabulary words
+  kVenue,       // journal / conference name: 2-4 vocabulary words
+  kYear,        // "1994"
+  kPages,       // "pp. 123-135"
+};
+
+struct AttributeSpec {
+  std::string name;
+  AttributeKind kind;
+  SimilarityFunction sim = SimilarityFunction::kBigramJaccard;
+  /// Probability an entity leaves this attribute empty (real Cora leaves
+  /// editor/pages blank for most records). Empty-vs-empty compares as 1.0,
+  /// empty-vs-filled as 0.0 - near-binary similarity dimensions that give
+  /// the partial order its structure.
+  double empty_prob = 0.0;
+};
+
+/// Profile of a synthetic dataset calibrated to one of the paper's three
+/// real datasets (Table 3). `dirtiness` in [0,1] controls how strongly
+/// duplicate records are perturbed — the paper's "easy" (Restaurant) vs
+/// "hard" (Cora) distinction.
+struct DatasetProfile {
+  std::string name;
+  size_t num_records = 0;
+  size_t num_entities = 0;
+  std::vector<AttributeSpec> attributes;
+  double dirtiness = 0.3;
+  /// Zipf-ish skew of duplicate-cluster sizes; 0 = uniform assignment of
+  /// extra duplicates, larger = a few entities soak up most duplicates.
+  double cluster_skew = 0.5;
+  /// How hard this dataset's pair questions are for *humans* (0 = trivial
+  /// even when string similarity is borderline, 1 = fully ambiguous). The
+  /// paper's §7.2 hinges on this: Restaurant is easy for any worker while
+  /// Cora is hard even for high-approval workers. Consumed by the
+  /// task-difficulty worker model via CrowdOracle's difficulty_scale.
+  double human_hardness = 0.5;
+  /// Probability a proper-name entity reuses a shared brand phrase
+  /// ("franchise" effect: distinct entities named 'cafe ritz-carlton ...' /
+  /// 'dining room ritz-carlton ...'). Drives the borderline non-matching
+  /// pairs that survive pruning (Table 3's large #Pairs).
+  double brand_share = 0.0;
+};
+
+/// The paper's three evaluation datasets (Table 3), reproduced as calibrated
+/// synthetic profiles. `scale` in (0,1] shrinks records & entities
+/// proportionally (used to keep default bench runtimes sane at ACMPub size).
+DatasetProfile RestaurantProfile();
+DatasetProfile CoraProfile();
+DatasetProfile AcmPubProfile(double scale = 1.0);
+
+/// Generates a table (records carry ground-truth entity ids) from a profile.
+/// Deterministic in (profile, seed).
+class DatasetGenerator {
+ public:
+  explicit DatasetGenerator(uint64_t seed) : rng_(seed) {}
+
+  Table Generate(const DatasetProfile& profile);
+
+ private:
+  struct Entity {
+    std::vector<std::string> values;
+  };
+
+  std::string CleanValue(const AttributeSpec& spec, double brand_share);
+  std::string Perturb(const AttributeSpec& spec, const std::string& value,
+                      double dirtiness);
+  std::string PerturbTokens(const AttributeSpec& spec,
+                            const std::string& value, double dirtiness);
+
+  // Word-level perturbation helpers.
+  std::string CoinedWord(size_t min_len, size_t max_len);
+  std::string TypoWord(const std::string& word);
+
+  Rng rng_;
+  // Shared pools regenerated per Generate() call.
+  std::vector<std::string> brand_pool_;
+  std::vector<std::string> venue_pool_;
+};
+
+}  // namespace power
+
+#endif  // POWER_DATA_GENERATOR_H_

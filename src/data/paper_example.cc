@@ -1,0 +1,94 @@
+#include "data/paper_example.h"
+
+namespace power {
+namespace {
+
+struct PaperPair {
+  int a;  // 1-based record ids as printed in Table 2
+  int b;
+  double s1, s2, s3, s4;
+};
+
+// Table 2 of the paper, verbatim.
+constexpr PaperPair kPaperPairs[] = {
+    {1, 2, 0.72, 0.4, 1.0, 0.88},  {1, 3, 0.75, 0.75, 0.33, 0.8},
+    {2, 3, 0.77, 0.5, 0.33, 0.69}, {2, 4, 0.51, 0.2, 0.33, 0.0},
+    {2, 5, 0.53, 0.2, 0.33, 0.0},  {2, 6, 0.42, 0.2, 1.0, 0.0},
+    {2, 7, 0.45, 0.2, 1.0, 0.0},   {3, 4, 0.39, 0.2, 1.0, 0.0},
+    {3, 5, 0.39, 0.2, 1.0, 0.0},   {3, 7, 0.28, 0.2, 0.33, 0.0},
+    {4, 5, 0.92, 1.0, 1.0, 1.0},   {4, 6, 0.69, 0.5, 0.33, 0.0},
+    {4, 7, 0.65, 0.5, 0.33, 0.0},  {5, 6, 0.63, 0.5, 0.33, 0.0},
+    {5, 7, 0.71, 0.5, 0.33, 0.0},  {6, 7, 0.94, 1.0, 1.0, 1.0},
+    {8, 9, 0.33, 0.2, 1.0, 0.0},   {10, 11, 0.5, 0.25, 1.0, 0.0},
+};
+
+}  // namespace
+
+Table PaperExampleTable() {
+  Schema schema({{"name", SimilarityFunction::kEditSimilarity},
+                 {"address", SimilarityFunction::kJaccard},
+                 {"city", SimilarityFunction::kJaccard},
+                 {"flavor", SimilarityFunction::kEditSimilarity}});
+  Table table(schema);
+  struct Row {
+    int entity;
+    const char* v[4];
+  };
+  const Row rows[] = {
+      {0, {"ritz-carlton restaurant (atlanta)", "181 w. peachtree st.",
+           "atlanta", "european french"}},
+      {0, {"ritz-carlton restaurant", "181 peachtree dr", "atlanta",
+           "european(french)"}},
+      {0, {"ritz-carlton restaurant georgia", "181 peachtree st.",
+           "city of atlanta", "european france"}},
+      {1, {"cafe ritz-carlton buckhead", "3434 peachtree rd.",
+           "city of atlanta", "american"}},
+      {1, {"cafe ritz-carlton (buckhead)", "3434 peachtree rd.",
+           "city of atlanta", "american"}},
+      {1, {"dining room ritz-carlton buckhead", "3434 peachtree ave.",
+           "atlanta", "international"}},
+      {1, {"dining room ritz-carlton (buckhead)", "3434 peachtree ave.",
+           "atlanta", "international"}},
+      {2, {"cafe claude", "201 83rd st.", "new york", "cafe"}},
+      {3, {"cafe bizou (american)", "13 54th st.", "new york",
+           "american food"}},
+      {4, {"gotham bar & grill", "12th rd.", "new york", "american(new)"}},
+      {5, {"mesa grill", "102 5th rd.", "new york", "southwestern"}},
+  };
+  for (const auto& row : rows) {
+    Record r;
+    r.entity_id = row.entity;
+    r.values = {row.v[0], row.v[1], row.v[2], row.v[3]};
+    table.Add(std::move(r));
+  }
+  return table;
+}
+
+std::vector<SimilarPair> PaperExamplePairs() {
+  std::vector<SimilarPair> pairs;
+  pairs.reserve(std::size(kPaperPairs));
+  for (const auto& pp : kPaperPairs) {
+    SimilarPair p;
+    p.i = pp.a - 1;
+    p.j = pp.b - 1;
+    p.sims = {pp.s1, pp.s2, pp.s3, pp.s4};
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+int PaperExamplePairIndex(int a, int b) {
+  if (a > b) {
+    int t = a;
+    a = b;
+    b = t;
+  }
+  for (size_t idx = 0; idx < std::size(kPaperPairs); ++idx) {
+    if (kPaperPairs[idx].a == a && kPaperPairs[idx].b == b) {
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+}  // namespace power

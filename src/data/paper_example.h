@@ -1,0 +1,27 @@
+#ifndef POWER_DATA_PAPER_EXAMPLE_H_
+#define POWER_DATA_PAPER_EXAMPLE_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "sim/pair.h"
+
+namespace power {
+
+/// The paper's running example: the 11 restaurant records of Table 1.
+/// Ground-truth entities: {r1,r2,r3}, {r4,r5,r6,r7}, and r8..r11 singletons.
+/// Record ids are 0-based (paper's r1 is record 0).
+Table PaperExampleTable();
+
+/// The 18 similar pairs of Table 2 with the paper's exact similarity vectors
+/// (s^1..s^4). Used by tests and the paper-example bench to reproduce the
+/// worked figures (group tree, path cover, histograms) value-for-value.
+std::vector<SimilarPair> PaperExamplePairs();
+
+/// Index into PaperExamplePairs() of pair (r_a, r_b) given the paper's
+/// 1-based record numbers; -1 if (a, b) is not one of the 18 pairs.
+int PaperExamplePairIndex(int a, int b);
+
+}  // namespace power
+
+#endif  // POWER_DATA_PAPER_EXAMPLE_H_

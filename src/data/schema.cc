@@ -1,0 +1,50 @@
+#include "data/schema.h"
+
+#include "util/check.h"
+
+namespace power {
+
+const char* SimilarityFunctionName(SimilarityFunction fn) {
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return "jaccard";
+    case SimilarityFunction::kEditSimilarity:
+      return "edit";
+    case SimilarityFunction::kBigramJaccard:
+      return "bigram";
+    case SimilarityFunction::kCosine:
+      return "cosine";
+    case SimilarityFunction::kOverlap:
+      return "overlap";
+    case SimilarityFunction::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+const Attribute& Schema::attribute(size_t k) const {
+  POWER_CHECK(k < attributes_.size());
+  return attributes_[k];
+}
+
+int Schema::FindAttribute(const std::string& name) const {
+  for (size_t k = 0; k < attributes_.size(); ++k) {
+    if (attributes_[k].name == name) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+void Schema::SetAllSimilarityFunctions(SimilarityFunction fn) {
+  for (auto& attr : attributes_) attr.sim = fn;
+}
+
+Schema Schema::Prefix(size_t m) const {
+  POWER_CHECK(m >= 1 && m <= attributes_.size());
+  return Schema(std::vector<Attribute>(attributes_.begin(),
+                                       attributes_.begin() + m));
+}
+
+}  // namespace power

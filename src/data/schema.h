@@ -1,0 +1,55 @@
+#ifndef POWER_DATA_SCHEMA_H_
+#define POWER_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace power {
+
+/// The similarity function applied to an attribute (paper §3.1 and §7.3).
+enum class SimilarityFunction {
+  kJaccard,        // word-token Jaccard (Eq. 1)
+  kEditSimilarity, // 1 - ED/max-len    (Eq. 2)
+  kBigramJaccard,  // Jaccard over 2-gram sets (the paper's default, §7.1)
+  // Extensions beyond the paper's three (§3.1: "We can utilize any
+  // similarity function"):
+  kCosine,         // cosine over word-token sets
+  kOverlap,        // overlap coefficient |A∩B| / min(|A|,|B|)
+  kNumeric,        // 1 - |a-b| / max(|a|,|b|) for numeric values
+};
+
+const char* SimilarityFunctionName(SimilarityFunction fn);
+
+/// One attribute of a table: a name plus the similarity function used for it.
+struct Attribute {
+  std::string name;
+  SimilarityFunction sim = SimilarityFunction::kBigramJaccard;
+};
+
+/// A table schema: an ordered list of attributes (the paper's A_1..A_m).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t k) const;
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with this name, or -1 if absent.
+  int FindAttribute(const std::string& name) const;
+
+  /// Replaces the similarity function on every attribute (used by the
+  /// Fig. 15-17 similarity-function sweep).
+  void SetAllSimilarityFunctions(SimilarityFunction fn);
+
+  /// Keeps only the first `m` attributes (Fig. 34 attribute-count sweep).
+  Schema Prefix(size_t m) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace power
+
+#endif  // POWER_DATA_SCHEMA_H_

@@ -1,0 +1,65 @@
+#ifndef POWER_DATA_TABLE_H_
+#define POWER_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace power {
+
+/// One record (row). `entity_id` is the ground-truth entity the record refers
+/// to; it is carried by the synthetic generators and used only by the crowd
+/// simulator (as the truth workers approximate) and by evaluation. Algorithms
+/// under test never read it.
+struct Record {
+  int id = -1;
+  int entity_id = -1;
+  std::vector<std::string> values;
+};
+
+/// A table T with m attributes and n records (paper Definition 1).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  size_t num_records() const { return records_.size(); }
+  const Record& record(size_t i) const;
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Appends a record; assigns its id to its position. The value count must
+  /// match the schema.
+  void Add(Record record);
+
+  /// Value of record i on attribute k (the paper's r_i[k]).
+  const std::string& Value(size_t i, size_t k) const;
+
+  /// Number of ground-truth entities present (distinct entity_id values).
+  size_t CountEntities() const;
+
+  /// Number of record pairs (i < j) whose records share an entity — |S_T|.
+  size_t CountMatchingPairs() const;
+
+  /// Returns a copy whose schema (and record values) keep only the first m
+  /// attributes (Fig. 34 sweep).
+  Table WithAttributePrefix(size_t m) const;
+
+  /// Serializes to CSV: header row "id,entity_id,<attr names...>".
+  std::string ToCsv() const;
+
+  /// Parses a table in ToCsv() format. Similarity functions default to
+  /// bigram Jaccard. Returns false on malformed input.
+  static bool FromCsv(const std::string& text, Table* table);
+
+ private:
+  Schema schema_;
+  std::vector<Record> records_;
+};
+
+}  // namespace power
+
+#endif  // POWER_DATA_TABLE_H_

@@ -1,0 +1,119 @@
+#include "eval/cluster_metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sim/pair.h"
+
+namespace power {
+namespace {
+
+// Union-find over record ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> BuildClusters(
+    size_t num_records, const std::unordered_set<uint64_t>& matched_pairs) {
+  DisjointSets sets(num_records);
+  for (uint64_t key : matched_pairs) {
+    sets.Union(PairKeyFirst(key), PairKeySecond(key));
+  }
+  std::map<int, std::vector<int>> by_root;
+  for (size_t i = 0; i < num_records; ++i) {
+    by_root[sets.Find(static_cast<int>(i))].push_back(static_cast<int>(i));
+  }
+  std::vector<std::vector<int>> clusters;
+  clusters.reserve(by_root.size());
+  for (auto& [root, members] : by_root) clusters.push_back(std::move(members));
+  return clusters;
+}
+
+ClusterMetrics ComputeClusterMetrics(
+    const Table& table, const std::unordered_set<uint64_t>& matched_pairs) {
+  const size_t n = table.num_records();
+  ClusterMetrics out;
+  if (n == 0) return out;
+
+  std::vector<std::vector<int>> predicted = BuildClusters(n, matched_pairs);
+  std::unordered_map<int, std::vector<int>> truth_by_entity;
+  for (const auto& r : table.records()) {
+    truth_by_entity[r.entity_id].push_back(r.id);
+  }
+  out.num_predicted_clusters = predicted.size();
+  out.num_true_clusters = truth_by_entity.size();
+
+  // Exact-cluster match.
+  std::set<std::vector<int>> truth_clusters;
+  for (auto& [entity, members] : truth_by_entity) {
+    std::sort(members.begin(), members.end());
+    truth_clusters.insert(members);
+  }
+  size_t exact = 0;
+  for (const auto& cluster : predicted) {
+    if (truth_clusters.count(cluster) > 0) ++exact;
+  }
+  out.exact_precision = static_cast<double>(exact) / predicted.size();
+  out.exact_recall = static_cast<double>(exact) / truth_clusters.size();
+  out.exact_f1 = (out.exact_precision + out.exact_recall > 0)
+                     ? 2 * out.exact_precision * out.exact_recall /
+                           (out.exact_precision + out.exact_recall)
+                     : 0.0;
+
+  // Rand index from the contingency table: with predicted labels P and true
+  // labels T,  RI = (C(n,2) + 2*sum_ij C(n_ij,2) - sum_i C(a_i,2)
+  //                  - sum_j C(b_j,2)) / C(n,2).
+  std::vector<int> pred_label(n);
+  for (size_t c = 0; c < predicted.size(); ++c) {
+    for (int r : predicted[c]) pred_label[r] = static_cast<int>(c);
+  }
+  std::map<std::pair<int, int>, size_t> cell;
+  std::unordered_map<int, size_t> pred_sizes;
+  std::unordered_map<int, size_t> true_sizes;
+  for (const auto& r : table.records()) {
+    ++cell[{pred_label[r.id], r.entity_id}];
+    ++pred_sizes[pred_label[r.id]];
+    ++true_sizes[r.entity_id];
+  }
+  auto choose2 = [](size_t x) {
+    return static_cast<double>(x) * (x - 1) / 2.0;
+  };
+  double pairs_total = choose2(n);
+  if (pairs_total == 0) {
+    out.rand_index = 1.0;
+    return out;
+  }
+  double sum_cells = 0.0;
+  for (const auto& [key, count] : cell) sum_cells += choose2(count);
+  double sum_pred = 0.0;
+  for (const auto& [c, s] : pred_sizes) sum_pred += choose2(s);
+  double sum_true = 0.0;
+  for (const auto& [e, s] : true_sizes) sum_true += choose2(s);
+  out.rand_index =
+      (pairs_total + 2 * sum_cells - sum_pred - sum_true) / pairs_total;
+  return out;
+}
+
+}  // namespace power

@@ -1,0 +1,37 @@
+#ifndef POWER_EVAL_CLUSTER_METRICS_H_
+#define POWER_EVAL_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "data/table.h"
+
+namespace power {
+
+/// Connected components of the matched-pair relation over n records
+/// (singletons included), each sorted ascending; clusters ordered by their
+/// smallest member.
+std::vector<std::vector<int>> BuildClusters(
+    size_t num_records, const std::unordered_set<uint64_t>& matched_pairs);
+
+/// Cluster-level quality, complementing the paper's pairwise F-measure:
+///  - exact-cluster precision/recall/F1: a predicted cluster counts iff it
+///    equals a ground-truth cluster exactly (strictest cluster metric);
+///  - Rand index: fraction of record pairs on which prediction and truth
+///    agree (same-cluster vs different-cluster).
+struct ClusterMetrics {
+  double exact_precision = 0.0;
+  double exact_recall = 0.0;
+  double exact_f1 = 0.0;
+  double rand_index = 0.0;
+  size_t num_predicted_clusters = 0;
+  size_t num_true_clusters = 0;
+};
+
+ClusterMetrics ComputeClusterMetrics(
+    const Table& table, const std::unordered_set<uint64_t>& matched_pairs);
+
+}  // namespace power
+
+#endif  // POWER_EVAL_CLUSTER_METRICS_H_

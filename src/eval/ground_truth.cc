@@ -1,0 +1,26 @@
+#include "eval/ground_truth.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/pair.h"
+
+namespace power {
+
+std::unordered_set<uint64_t> TrueMatchPairs(const Table& table) {
+  std::unordered_map<int, std::vector<int>> by_entity;
+  for (const auto& r : table.records()) {
+    by_entity[r.entity_id].push_back(r.id);
+  }
+  std::unordered_set<uint64_t> out;
+  for (const auto& [entity, records] : by_entity) {
+    for (size_t a = 0; a < records.size(); ++a) {
+      for (size_t b = a + 1; b < records.size(); ++b) {
+        out.insert(PairKey(records[a], records[b]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace power

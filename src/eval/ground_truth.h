@@ -1,0 +1,18 @@
+#ifndef POWER_EVAL_GROUND_TRUTH_H_
+#define POWER_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "data/table.h"
+
+namespace power {
+
+/// S_T: every record pair sharing a ground-truth entity id. Recall is
+/// measured against this full set, so pairs lost to similarity pruning count
+/// against every method equally (as in the paper).
+std::unordered_set<uint64_t> TrueMatchPairs(const Table& table);
+
+}  // namespace power
+
+#endif  // POWER_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,35 @@
+#include "eval/metrics.h"
+
+#include <cstddef>
+
+namespace power {
+
+PrecisionRecallF ComputePrf(const std::unordered_set<uint64_t>& predicted,
+                            const std::unordered_set<uint64_t>& truth) {
+  PrecisionRecallF out;
+  if (predicted.empty() || truth.empty()) {
+    // Conventions: empty prediction has precision 1 (nothing wrong was
+    // claimed) but recall 0 unless truth is also empty.
+    out.precision = predicted.empty() ? 1.0 : 0.0;
+    out.recall = truth.empty() ? 1.0 : 0.0;
+    out.f1 = (out.precision + out.recall > 0)
+                 ? 2 * out.precision * out.recall /
+                       (out.precision + out.recall)
+                 : 0.0;
+    return out;
+  }
+  size_t hits = 0;
+  const auto& smaller = predicted.size() <= truth.size() ? predicted : truth;
+  const auto& larger = predicted.size() <= truth.size() ? truth : predicted;
+  for (uint64_t key : smaller) {
+    if (larger.count(key) > 0) ++hits;
+  }
+  out.precision = static_cast<double>(hits) / predicted.size();
+  out.recall = static_cast<double>(hits) / truth.size();
+  out.f1 = (out.precision + out.recall > 0)
+               ? 2 * out.precision * out.recall / (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace power

@@ -1,0 +1,23 @@
+#ifndef POWER_EVAL_METRICS_H_
+#define POWER_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+namespace power {
+
+/// Quality metrics of §7.1: precision p = |S_T ∩ S_P| / |S_P|, recall
+/// r = |S_T ∩ S_P| / |S_T|, F-measure 2pr/(p+r).
+struct PrecisionRecallF {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+PrecisionRecallF ComputePrf(const std::unordered_set<uint64_t>& predicted,
+                            const std::unordered_set<uint64_t>& truth);
+
+}  // namespace power
+
+#endif  // POWER_EVAL_METRICS_H_

@@ -1,0 +1,66 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace power {
+namespace {
+
+std::string FormatDouble(double x, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+  return buf;
+}
+
+std::vector<std::string> RowFields(const std::string& label,
+                                   const ExperimentRow& row) {
+  return {label,
+          MethodName(row.method),
+          FormatDouble(row.quality.f1),
+          FormatDouble(row.quality.precision),
+          FormatDouble(row.quality.recall),
+          std::to_string(row.questions),
+          std::to_string(row.iterations),
+          FormatDouble(row.assignment_seconds, 6),
+          FormatDouble(row.dollars, 2)};
+}
+
+const char* const kHeader[] = {
+    "label",      "method",     "f1",      "precision", "recall",
+    "questions",  "iterations", "assign_s", "dollars"};
+
+}  // namespace
+
+std::string ExperimentRowsToCsv(
+    const std::vector<std::pair<std::string, ExperimentRow>>& labeled_rows) {
+  std::vector<std::vector<std::string>> rows;
+  rows.emplace_back(std::begin(kHeader), std::end(kHeader));
+  for (const auto& [label, row] : labeled_rows) {
+    rows.push_back(RowFields(label, row));
+  }
+  return Csv::Serialize(rows);
+}
+
+std::string ExperimentRowsToMarkdown(
+    const std::vector<std::pair<std::string, ExperimentRow>>& labeled_rows) {
+  std::string out = "|";
+  for (const char* h : kHeader) {
+    out += " ";
+    out += h;
+    out += " |";
+  }
+  out += "\n|";
+  for (size_t i = 0; i < std::size(kHeader); ++i) out += "---|";
+  out += "\n";
+  for (const auto& [label, row] : labeled_rows) {
+    out += "|";
+    for (const std::string& field : RowFields(label, row)) {
+      out += " " + field + " |";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace power

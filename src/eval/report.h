@@ -1,0 +1,25 @@
+#ifndef POWER_EVAL_REPORT_H_
+#define POWER_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace power {
+
+/// Serializers for experiment results, so bench output can be piped into
+/// plotting scripts (the paper's figures are line charts over these rows).
+///
+/// CSV columns: label,method,f1,precision,recall,questions,iterations,
+///              assignment_seconds,dollars
+std::string ExperimentRowsToCsv(
+    const std::vector<std::pair<std::string, ExperimentRow>>& labeled_rows);
+
+/// GitHub-flavored markdown table of the same rows.
+std::string ExperimentRowsToMarkdown(
+    const std::vector<std::pair<std::string, ExperimentRow>>& labeled_rows);
+
+}  // namespace power
+
+#endif  // POWER_EVAL_REPORT_H_

@@ -1,0 +1,36 @@
+#include "graph/builder.h"
+#include "order/partial_order.h"
+
+namespace power {
+
+PairGraph BuildPairGraph(const GraphBuilder& builder,
+                         const std::vector<SimilarPair>& pairs) {
+  std::vector<std::vector<double>> sims;
+  sims.reserve(pairs.size());
+  for (const auto& p : pairs) sims.push_back(p.sims);
+  return builder.Build(sims);
+}
+
+PairGraph BruteForceBuilder::Build(
+    const std::vector<std::vector<double>>& sims) const {
+  PairGraph graph{std::vector<std::vector<double>>(sims)};
+  int n = static_cast<int>(sims.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      switch (CompareDominance(sims[a], sims[b])) {
+        case DomOrder::kDominates:
+          graph.AddEdge(a, b);
+          break;
+        case DomOrder::kDominatedBy:
+          graph.AddEdge(b, a);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  graph.DedupEdges();
+  return graph;
+}
+
+}  // namespace power

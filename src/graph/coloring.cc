@@ -1,0 +1,117 @@
+#include "graph/coloring.h"
+
+#include "util/check.h"
+
+namespace power {
+
+const char* ColorName(Color c) {
+  switch (c) {
+    case Color::kUncolored:
+      return "uncolored";
+    case Color::kGreen:
+      return "green";
+    case Color::kRed:
+      return "red";
+    case Color::kBlue:
+      return "blue";
+  }
+  return "?";
+}
+
+ColoringState::ColoringState(const PairGraph* graph)
+    : graph_(graph),
+      color_(graph->num_vertices(), Color::kUncolored),
+      asked_(graph->num_vertices(), false),
+      forced_(graph->num_vertices(), false),
+      green_votes_(graph->num_vertices(), 0),
+      red_votes_(graph->num_vertices(), 0) {}
+
+Color ColoringState::color(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
+  return color_[v];
+}
+
+bool ColoringState::asked(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < asked_.size());
+  return asked_[v];
+}
+
+std::vector<int> ColoringState::UncoloredVertices() const {
+  std::vector<int> out;
+  for (size_t v = 0; v < color_.size(); ++v) {
+    if (color_[v] == Color::kUncolored) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+size_t ColoringState::num_uncolored() const {
+  size_t n = 0;
+  for (Color c : color_) {
+    if (c == Color::kUncolored) ++n;
+  }
+  return n;
+}
+
+bool ColoringState::AllColored() const { return num_uncolored() == 0; }
+
+void ColoringState::Recompute(int v) {
+  // Asked / forced vertices keep their color; only deduced colors float with
+  // the vote balance.
+  if (asked_[v] || forced_[v]) return;
+  if (green_votes_[v] > red_votes_[v]) {
+    color_[v] = Color::kGreen;
+  } else if (red_votes_[v] > green_votes_[v]) {
+    color_[v] = Color::kRed;
+  } else {
+    // No votes, or a conflict tie (§5.3.1): the vertex stays askable.
+    color_[v] = Color::kUncolored;
+  }
+}
+
+void ColoringState::ApplyAnswer(int v, bool match, bool propagate) {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
+  asked_[v] = true;
+  color_[v] = match ? Color::kGreen : Color::kRed;
+  if (!propagate) return;
+  if (match) {
+    for (int a : graph_->Ancestors(v)) {
+      ++green_votes_[a];
+      Recompute(a);
+    }
+  } else {
+    for (int d : graph_->Descendants(v)) {
+      ++red_votes_[d];
+      Recompute(d);
+    }
+  }
+}
+
+void ColoringState::MarkBlue(int v) {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
+  asked_[v] = true;
+  color_[v] = Color::kBlue;
+}
+
+void ColoringState::ForceColor(int v, Color c) {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
+  color_[v] = c;
+  forced_[v] = true;
+}
+
+size_t ColoringState::CountColor(Color c) const {
+  size_t n = 0;
+  for (Color x : color_) {
+    if (x == c) ++n;
+  }
+  return n;
+}
+
+std::vector<int> ColoringState::VerticesWithColor(Color c) const {
+  std::vector<int> out;
+  for (size_t v = 0; v < color_.size(); ++v) {
+    if (color_[v] == c) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+}  // namespace power

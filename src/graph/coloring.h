@@ -1,0 +1,75 @@
+#ifndef POWER_GRAPH_COLORING_H_
+#define POWER_GRAPH_COLORING_H_
+
+#include <vector>
+
+#include "graph/pair_graph.h"
+
+namespace power {
+
+/// Vertex colors of the framework (§3.2, §6):
+///   GREEN = the pair refers to the same entity,
+///   RED   = different entities,
+///   BLUE  = crowd answer too unconfident to propagate (Power+, §6).
+enum class Color { kUncolored, kGreen, kRed, kBlue };
+
+const char* ColorName(Color c);
+
+/// Tracks vertex colors and implements the coloring strategy:
+///  - a crowdsourced YES colors the vertex GREEN and casts a GREEN deduction
+///    vote on every ancestor;
+///  - a crowdsourced NO colors the vertex RED and casts a RED vote on every
+///    descendant;
+///  - a vertex that was asked directly keeps its answer;
+///  - a vertex that was only deduced takes the majority of its deduction
+///    votes; ties revert it to UNCOLORED (the conflict rule of §5.3.1), so
+///    it stays eligible for asking.
+class ColoringState {
+ public:
+  explicit ColoringState(const PairGraph* graph);
+
+  Color color(int v) const;
+  bool asked(int v) const;
+
+  /// Vertices still UNCOLORED (askable). BLUE vertices are settled later by
+  /// the error-tolerant histogram pass, not by more questions.
+  std::vector<int> UncoloredVertices() const;
+  size_t num_uncolored() const;
+  bool AllColored() const;
+
+  /// Records the crowd's (voted) answer on v and propagates deduction votes
+  /// per the coloring strategy. `propagate` is false when the answer's
+  /// confidence is below the Power+ gate.
+  void ApplyAnswer(int v, bool match, bool propagate = true);
+
+  /// Marks an unconfident asked vertex BLUE (no propagation).
+  void MarkBlue(int v);
+
+  /// Overrides the color of a BLUE or UNCOLORED vertex (the Power+ histogram
+  /// pass). Does not propagate.
+  void ForceColor(int v, Color c);
+
+  size_t num_green() const { return CountColor(Color::kGreen); }
+  size_t num_red() const { return CountColor(Color::kRed); }
+  size_t num_blue() const { return CountColor(Color::kBlue); }
+
+  /// Vertices with the given current color, ascending.
+  std::vector<int> VerticesWithColor(Color c) const;
+
+  const PairGraph& graph() const { return *graph_; }
+
+ private:
+  size_t CountColor(Color c) const;
+  void Recompute(int v);
+
+  const PairGraph* graph_;
+  std::vector<Color> color_;
+  std::vector<bool> asked_;
+  std::vector<bool> forced_;
+  std::vector<int> green_votes_;
+  std::vector<int> red_votes_;
+};
+
+}  // namespace power
+
+#endif  // POWER_GRAPH_COLORING_H_

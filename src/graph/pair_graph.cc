@@ -1,0 +1,121 @@
+#include "graph/pair_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace power {
+
+PairGraph::PairGraph(std::vector<std::vector<double>> sims)
+    : sims_(std::move(sims)),
+      children_(sims_.size()),
+      parents_(sims_.size()) {}
+
+const std::vector<double>& PairGraph::sims(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < sims_.size());
+  return sims_[v];
+}
+
+void PairGraph::AddEdge(int parent, int child) {
+  POWER_CHECK(parent >= 0 && static_cast<size_t>(parent) < sims_.size());
+  POWER_CHECK(child >= 0 && static_cast<size_t>(child) < sims_.size());
+  POWER_CHECK(parent != child);
+  children_[parent].push_back(child);
+  parents_[child].push_back(parent);
+  ++num_edges_;
+}
+
+const std::vector<int>& PairGraph::children(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < children_.size());
+  return children_[v];
+}
+
+const std::vector<int>& PairGraph::parents(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < parents_.size());
+  return parents_[v];
+}
+
+void PairGraph::DedupEdges() {
+  num_edges_ = 0;
+  for (auto& adj : children_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    num_edges_ += adj.size();
+  }
+  for (auto& adj : parents_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+}
+
+namespace {
+
+std::vector<int> Reachable(const std::vector<std::vector<int>>& adj,
+                           int start) {
+  std::vector<int> out;
+  std::vector<bool> visited(adj.size(), false);
+  std::vector<int> stack = {start};
+  visited[start] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int u : adj[v]) {
+      if (!visited[u]) {
+        visited[u] = true;
+        out.push_back(u);
+        stack.push_back(u);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> PairGraph::Descendants(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < children_.size());
+  return Reachable(children_, v);
+}
+
+std::vector<int> PairGraph::Ancestors(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < parents_.size());
+  return Reachable(parents_, v);
+}
+
+std::vector<std::vector<int>> PairGraph::TopologicalLevels(
+    const std::vector<bool>& active) const {
+  POWER_CHECK(active.size() == sims_.size());
+  std::vector<int> indegree(sims_.size(), 0);
+  std::vector<int> frontier;
+  for (size_t v = 0; v < sims_.size(); ++v) {
+    if (!active[v]) continue;
+    for (int p : parents_[v]) {
+      if (active[p]) ++indegree[v];
+    }
+    if (indegree[v] == 0) frontier.push_back(static_cast<int>(v));
+  }
+  std::vector<std::vector<int>> levels;
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end());
+    levels.push_back(frontier);
+    std::vector<int> next;
+    for (int v : frontier) {
+      for (int c : children_[v]) {
+        if (active[c] && --indegree[c] == 0) next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return levels;
+}
+
+bool PairGraph::IsAcyclic() const {
+  std::vector<bool> active(sims_.size(), true);
+  auto levels = TopologicalLevels(active);
+  size_t covered = 0;
+  for (const auto& level : levels) covered += level.size();
+  return covered == sims_.size();
+}
+
+}  // namespace power

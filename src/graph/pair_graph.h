@@ -1,0 +1,63 @@
+#ifndef POWER_GRAPH_PAIR_GRAPH_H_
+#define POWER_GRAPH_PAIR_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace power {
+
+/// The directed acyclic graph of the partial-order framework (Definition 2).
+/// Vertex v carries a similarity vector; an edge parent -> child means
+/// parent ≻ child (the parent pair dominates the child pair).
+///
+/// The graph builders emit the *full* dominance relation (an edge for every
+/// comparable vertex pair), i.e. the transitive closure. Question selection
+/// (Dilworth path cover) and O(1)-hop propagation both rely on this.
+class PairGraph {
+ public:
+  PairGraph() = default;
+  explicit PairGraph(std::vector<std::vector<double>> sims);
+
+  size_t num_vertices() const { return sims_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const std::vector<double>& sims(int v) const;
+  const std::vector<std::vector<double>>& all_sims() const { return sims_; }
+
+  /// Adds edge parent -> child. Callers must not add duplicates (or must call
+  /// DedupEdges() afterwards).
+  void AddEdge(int parent, int child);
+
+  /// Children of v: vertices v strictly dominates.
+  const std::vector<int>& children(int v) const;
+  /// Parents of v: vertices strictly dominating v.
+  const std::vector<int>& parents(int v) const;
+
+  /// Sorts adjacency lists and removes duplicate edges.
+  void DedupEdges();
+
+  /// All vertices reachable from v via child edges (v excluded).
+  std::vector<int> Descendants(int v) const;
+  /// All vertices reachable from v via parent edges (v excluded).
+  std::vector<int> Ancestors(int v) const;
+
+  /// Kahn peeling over the subgraph induced by `active` vertices: level L1 =
+  /// zero in-degree vertices, L2 = zero in-degree after removing L1, ...
+  /// (paper §5.3.2). `active.size()` must equal num_vertices().
+  std::vector<std::vector<int>> TopologicalLevels(
+      const std::vector<bool>& active) const;
+
+  /// True iff the edge relation has no directed cycle.
+  bool IsAcyclic() const;
+
+ private:
+  std::vector<std::vector<double>> sims_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<int>> parents_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace power
+
+#endif  // POWER_GRAPH_PAIR_GRAPH_H_

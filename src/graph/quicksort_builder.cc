@@ -1,0 +1,96 @@
+#include <vector>
+
+#include "graph/builder.h"
+#include "order/partial_order.h"
+#include "util/rng.h"
+
+namespace power {
+namespace {
+
+class QuickSortBuildState {
+ public:
+  QuickSortBuildState(const std::vector<std::vector<double>>& sims,
+                      PairGraph* graph, uint64_t seed)
+      : sims_(sims), graph_(graph), rng_(seed) {}
+
+  void Run() {
+    std::vector<int> all(sims_.size());
+    for (size_t v = 0; v < sims_.size(); ++v) all[v] = static_cast<int>(v);
+    Recurse(all);
+  }
+
+ private:
+  void Compare(int a, int b) {
+    switch (CompareDominance(sims_[a], sims_[b])) {
+      case DomOrder::kDominates:
+        graph_->AddEdge(a, b);
+        break;
+      case DomOrder::kDominatedBy:
+        graph_->AddEdge(b, a);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Recurse(const std::vector<int>& set) {
+    if (set.size() <= 1) return;
+    if (set.size() == 2) {
+      Compare(set[0], set[1]);
+      return;
+    }
+    int pivot = set[rng_.UniformIndex(set.size())];
+    std::vector<int> parents;   // ≻ pivot
+    std::vector<int> children;  // pivot ≻
+    std::vector<int> incomparable;
+    for (int v : set) {
+      if (v == pivot) continue;
+      switch (CompareDominance(sims_[v], sims_[pivot])) {
+        case DomOrder::kDominates:
+          parents.push_back(v);
+          graph_->AddEdge(v, pivot);
+          break;
+        case DomOrder::kDominatedBy:
+          children.push_back(v);
+          graph_->AddEdge(pivot, v);
+          break;
+        default:
+          incomparable.push_back(v);
+          break;
+      }
+    }
+    // The quicksort saving: every parent dominates every child via the pivot,
+    // so all |P| x |C| edges come without a vector comparison.
+    for (int p : parents) {
+      for (int c : children) graph_->AddEdge(p, c);
+    }
+    // Pairs straddling the incomparable set are undetermined by the pivot;
+    // resolve them directly (keeps the recursion duplicate-free; see header).
+    for (int p : parents) {
+      for (int u : incomparable) Compare(p, u);
+    }
+    for (int c : children) {
+      for (int u : incomparable) Compare(c, u);
+    }
+    Recurse(parents);
+    Recurse(children);
+    Recurse(incomparable);
+  }
+
+  const std::vector<std::vector<double>>& sims_;
+  PairGraph* graph_;
+  Rng rng_;
+};
+
+}  // namespace
+
+PairGraph QuickSortBuilder::Build(
+    const std::vector<std::vector<double>>& sims) const {
+  PairGraph graph{std::vector<std::vector<double>>(sims)};
+  QuickSortBuildState state(sims, &graph, seed_);
+  state.Run();
+  graph.DedupEdges();
+  return graph;
+}
+
+}  // namespace power

@@ -1,0 +1,78 @@
+#include "graph/range_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace power {
+
+void RangeTree2d::Build(std::vector<Point> points) {
+  n_ = points.size();
+  sorted_x_.clear();
+  node_lists_.assign(2 * std::max<size_t>(n_, 1), {});
+  if (n_ == 0) return;
+
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.id < b.id;
+  });
+  sorted_x_.reserve(n_);
+  for (const auto& p : points) sorted_x_.push_back(p.x);
+
+  // Leaves: node n_ + i holds point i. Internal nodes merge children's
+  // y-sorted lists bottom-up (mergesort-tree construction).
+  for (size_t i = 0; i < n_; ++i) {
+    node_lists_[n_ + i] = {{points[i].y, points[i].id}};
+  }
+  auto by_y = [](const YEntry& a, const YEntry& b) {
+    if (a.y != b.y) return a.y < b.y;
+    return a.id < b.id;
+  };
+  for (size_t node = n_ - 1; node >= 1; --node) {
+    const auto& left = node_lists_[2 * node];
+    const auto& right = node_lists_[2 * node + 1];
+    auto& merged = node_lists_[node];
+    merged.resize(left.size() + right.size());
+    std::merge(left.begin(), left.end(), right.begin(), right.end(),
+               merged.begin(), by_y);
+  }
+}
+
+std::vector<int> RangeTree2d::QueryDominated(double qx, double qy) const {
+  std::vector<int> out;
+  QueryDominated(qx, qy, &out);
+  return out;
+}
+
+void RangeTree2d::QueryDominated(double qx, double qy,
+                                 std::vector<int>* out) const {
+  if (n_ == 0) return;
+  // x-prefix [0, hi): points with x <= qx.
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(sorted_x_.begin(), sorted_x_.end(), qx) -
+      sorted_x_.begin());
+  if (hi == 0) return;
+
+  auto emit = [&](const std::vector<YEntry>& list) {
+    // All entries with y <= qy: a y-sorted prefix of the node list.
+    auto end = std::upper_bound(
+        list.begin(), list.end(), qy,
+        [](double value, const YEntry& e) { return value < e.y; });
+    for (auto it = list.begin(); it != end; ++it) out->push_back(it->id);
+  };
+
+  // Standard iterative segment-tree decomposition of [0, hi).
+  size_t lo_node = n_;           // leaf of index 0
+  size_t hi_node = n_ + hi - 1;  // leaf of index hi-1
+  size_t l = lo_node;
+  size_t r = hi_node + 1;
+  while (l < r) {
+    if (l & 1) emit(node_lists_[l++]);
+    if (r & 1) emit(node_lists_[--r]);
+    l >>= 1;
+    r >>= 1;
+  }
+}
+
+}  // namespace power

@@ -1,0 +1,57 @@
+#ifndef POWER_GRAPH_RANGE_TREE_H_
+#define POWER_GRAPH_RANGE_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace power {
+
+/// Layered two-level range search tree (§4.1 "Index-Based Method").
+///
+/// First level: a balanced hierarchy over the points sorted by x (the
+/// similarity on the first indexed attribute), realized as a segment tree on
+/// the sorted array. Second level: each node stores its points sorted by y.
+/// A dominance-reporting query "all points with x <= qx and y <= qy"
+/// decomposes the x-prefix into O(log n) canonical nodes and binary-searches
+/// each node's y-sorted list — the classic layered variant of the range tree
+/// with fractional cascading replaced by per-node binary search (same
+/// reported set, one extra log factor).
+class RangeTree2d {
+ public:
+  struct Point {
+    double x;
+    double y;
+    int id;
+  };
+
+  RangeTree2d() = default;
+
+  /// Builds the tree over the given points. O(n log n).
+  void Build(std::vector<Point> points);
+
+  size_t num_points() const { return n_; }
+
+  /// Reports ids of all points p with p.x <= qx and p.y <= qy.
+  /// O(log^2 n + k). The result is unsorted.
+  std::vector<int> QueryDominated(double qx, double qy) const;
+
+  /// Appends matches to *out instead of allocating (hot path of the graph
+  /// builder).
+  void QueryDominated(double qx, double qy, std::vector<int>* out) const;
+
+ private:
+  struct YEntry {
+    double y;
+    int id;
+  };
+
+  // Segment tree over the x-sorted array, 1-based heap layout.
+  // node_lists_[node] = points of the node's range, sorted by y.
+  size_t n_ = 0;
+  std::vector<double> sorted_x_;
+  std::vector<std::vector<YEntry>> node_lists_;
+};
+
+}  // namespace power
+
+#endif  // POWER_GRAPH_RANGE_TREE_H_

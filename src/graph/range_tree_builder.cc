@@ -1,0 +1,79 @@
+#include <algorithm>
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/range_tree.h"
+#include "order/partial_order.h"
+#include "util/check.h"
+
+namespace power {
+namespace {
+
+// Picks the two attributes with the most distinct values: the most selective
+// dimensions make the 2-d index filter hardest (fewest false candidates to
+// verify on the remaining attributes).
+std::pair<int, int> PickIndexDims(
+    const std::vector<std::vector<double>>& sims) {
+  size_t m = sims.empty() ? 0 : sims[0].size();
+  POWER_CHECK(m >= 1);
+  if (m == 1) return {0, 0};
+  std::vector<std::pair<size_t, int>> distinct;  // (#distinct values, dim)
+  for (size_t k = 0; k < m; ++k) {
+    std::set<double> values;
+    for (const auto& s : sims) values.insert(s[k]);
+    distinct.push_back({values.size(), static_cast<int>(k)});
+  }
+  std::sort(distinct.begin(), distinct.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  return {distinct[0].second, distinct[1].second};
+}
+
+}  // namespace
+
+PairGraph RangeTreeBuilder::Build(
+    const std::vector<std::vector<double>>& sims) const {
+  PairGraph graph{std::vector<std::vector<double>>(sims)};
+  if (sims.empty()) return graph;
+  const size_t m = sims[0].size();
+
+  int d1 = dim1_;
+  int d2 = dim2_;
+  if (d1 < 0 || d2 < 0) {
+    auto dims = PickIndexDims(sims);
+    d1 = dims.first;
+    d2 = dims.second;
+  }
+  POWER_CHECK(static_cast<size_t>(d1) < m && static_cast<size_t>(d2) < m);
+  if (m == 1) d2 = d1;  // Degenerate 1-attribute case: index it twice.
+
+  RangeTree2d tree;
+  std::vector<RangeTree2d::Point> points;
+  points.reserve(sims.size());
+  for (size_t v = 0; v < sims.size(); ++v) {
+    points.push_back({sims[v][static_cast<size_t>(d1)],
+                      sims[v][static_cast<size_t>(d2)],
+                      static_cast<int>(v)});
+  }
+  tree.Build(std::move(points));
+
+  // For each vertex, report the candidates it weakly dominates on the two
+  // indexed attributes, then verify strict dominance on the full vector.
+  std::vector<int> candidates;
+  for (size_t v = 0; v < sims.size(); ++v) {
+    candidates.clear();
+    tree.QueryDominated(sims[v][static_cast<size_t>(d1)],
+                        sims[v][static_cast<size_t>(d2)], &candidates);
+    for (int c : candidates) {
+      if (c == static_cast<int>(v)) continue;
+      if (StrictlyDominates(sims[v], sims[static_cast<size_t>(c)])) {
+        graph.AddEdge(static_cast<int>(v), c);
+      }
+    }
+  }
+  graph.DedupEdges();
+  return graph;
+}
+
+}  // namespace power

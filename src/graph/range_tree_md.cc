@@ -1,0 +1,124 @@
+#include "graph/range_tree_md.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace power {
+
+void RangeTreeMd::Build(std::vector<std::vector<double>> points) {
+  points_ = std::move(points);
+  num_points_ = points_.size();
+  root_.reset();
+  dims_ = 0;
+  if (points_.empty()) return;
+  dims_ = points_[0].size();
+  POWER_CHECK(dims_ >= 1);
+  for (const auto& p : points_) POWER_CHECK(p.size() == dims_);
+
+  std::vector<int> ids(num_points_);
+  for (size_t i = 0; i < num_points_; ++i) ids[i] = static_cast<int>(i);
+  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+    if (points_[a][0] != points_[b][0]) return points_[a][0] < points_[b][0];
+    return a < b;
+  });
+  root_ = BuildNode(ids, 0);
+}
+
+std::unique_ptr<RangeTreeMd::Node> RangeTreeMd::BuildNode(
+    const std::vector<int>& ids, size_t dim) const {
+  auto node = std::make_unique<Node>();
+  if (dim == dims_ - 1) {
+    // Last dimension: a sorted list answered by prefix.
+    node->last.reserve(ids.size());
+    for (int id : ids) node->last.push_back({points_[id][dim], id});
+    std::sort(node->last.begin(), node->last.end());
+    node->max_value = node->last.back().first;
+    node->is_leaf = true;
+    return node;
+  }
+
+  node->max_value = points_[ids.back()][dim];
+  node->lower = [&] {
+    std::vector<int> by_next = ids;
+    std::sort(by_next.begin(), by_next.end(), [&](int a, int b) {
+      if (points_[a][dim + 1] != points_[b][dim + 1]) {
+        return points_[a][dim + 1] < points_[b][dim + 1];
+      }
+      return a < b;
+    });
+    return BuildNode(by_next, dim + 1);
+  }();
+
+  // Split at the midpoint, keeping equal dim-values on one side so the
+  // recursion terminates even with heavy ties.
+  size_t mid = ids.size() / 2;
+  double mid_value = points_[ids[mid]][dim];
+  while (mid > 0 && points_[ids[mid - 1]][dim] == mid_value) --mid;
+  if (mid == 0) {
+    // All of the first half shares the value; split after the run instead.
+    mid = ids.size() / 2;
+    while (mid < ids.size() && points_[ids[mid]][dim] == mid_value) ++mid;
+  }
+  if (mid == 0 || mid == ids.size()) {
+    node->is_leaf = true;  // single distinct value on this dimension
+    return node;
+  }
+  std::vector<int> left(ids.begin(), ids.begin() + mid);
+  std::vector<int> right(ids.begin() + mid, ids.end());
+  node->left = BuildNode(left, dim);
+  node->right = BuildNode(right, dim);
+  return node;
+}
+
+void RangeTreeMd::Collect(const Node* node, double bound,
+                          std::vector<const Node*>* canonical) const {
+  if (node == nullptr) return;
+  if (node->max_value <= bound) {
+    canonical->push_back(node);
+    return;
+  }
+  if (node->is_leaf) return;
+  Collect(node->left.get(), bound, canonical);
+  // The right subtree's minimum is >= the left's maximum, so it can only
+  // contribute if the left subtree was fully covered.
+  if (node->left->max_value <= bound) {
+    Collect(node->right.get(), bound, canonical);
+  }
+}
+
+void RangeTreeMd::Query(const Node* node, size_t dim,
+                        const std::vector<double>& q,
+                        std::vector<int>* out) const {
+  if (node == nullptr) return;
+  if (dim == dims_ - 1) {
+    auto end = std::upper_bound(
+        node->last.begin(), node->last.end(), q[dim],
+        [](double v, const std::pair<double, int>& e) { return v < e.first; });
+    for (auto it = node->last.begin(); it != end; ++it) {
+      out->push_back(it->second);
+    }
+    return;
+  }
+  std::vector<const Node*> canonical;
+  Collect(node, q[dim], &canonical);
+  for (const Node* c : canonical) {
+    Query(c->lower.get(), dim + 1, q, out);
+  }
+}
+
+void RangeTreeMd::QueryDominated(const std::vector<double>& q,
+                                 std::vector<int>* out) const {
+  if (root_ == nullptr) return;
+  POWER_CHECK(q.size() == dims_);
+  Query(root_.get(), 0, q, out);
+}
+
+std::vector<int> RangeTreeMd::QueryDominated(
+    const std::vector<double>& q) const {
+  std::vector<int> out;
+  QueryDominated(q, &out);
+  return out;
+}
+
+}  // namespace power

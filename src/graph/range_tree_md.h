@@ -1,0 +1,71 @@
+#ifndef POWER_GRAPH_RANGE_TREE_MD_H_
+#define POWER_GRAPH_RANGE_TREE_MD_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace power {
+
+/// m-dimensional range search tree for dominance reporting — the paper's
+/// §4.1 remark "It is straightforward to generalize 2-dimensional range
+/// trees to m-dimensional range trees", materialized.
+///
+/// Structure (textbook multi-level range tree): a balanced hierarchy over
+/// the points sorted by dimension 0; every node owns a full (m-1)-dimensional
+/// tree over its subtree's points; the last dimension is a sorted list
+/// answered by prefix. A query "all points p with p[k] <= q[k] for every k"
+/// decomposes each level into O(log n) canonical nodes, recursing one
+/// dimension down per canonical node: O(log^m n + k) query,
+/// O(n log^{m-1} n) space.
+///
+/// Unlike the 2-d tree + verify heuristic (RangeTreeBuilder), reported
+/// candidates already satisfy weak dominance on *all* attributes.
+class RangeTreeMd {
+ public:
+  RangeTreeMd() = default;
+
+  /// Builds over the given points (all the same dimension m >= 1).
+  /// Point i gets id i.
+  void Build(std::vector<std::vector<double>> points);
+
+  size_t num_points() const { return num_points_; }
+  size_t dims() const { return dims_; }
+
+  /// Reports ids of all points weakly dominated by q (p[k] <= q[k] for all
+  /// k), including points equal to q. Result unsorted.
+  void QueryDominated(const std::vector<double>& q,
+                      std::vector<int>* out) const;
+  std::vector<int> QueryDominated(const std::vector<double>& q) const;
+
+ private:
+  struct Node {
+    // Subtree maxima on the node's own dimension (for routing / coverage).
+    double max_value = 0.0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    // dim < m-1: full tree over this subtree's points on the next dimension.
+    std::unique_ptr<Node> lower;
+    // dim == m-1: points sorted by the last dimension's value.
+    std::vector<std::pair<double, int>> last;
+    bool is_leaf = false;
+  };
+
+  // `ids` sorted by points_[id][dim] ascending.
+  std::unique_ptr<Node> BuildNode(const std::vector<int>& ids,
+                                  size_t dim) const;
+  void Query(const Node* node, size_t dim, const std::vector<double>& q,
+             std::vector<int>* out) const;
+  void Collect(const Node* node, double bound,
+               std::vector<const Node*>* canonical) const;
+
+  std::vector<std::vector<double>> points_;
+  std::unique_ptr<Node> root_;
+  size_t num_points_ = 0;
+  size_t dims_ = 0;
+};
+
+}  // namespace power
+
+#endif  // POWER_GRAPH_RANGE_TREE_MD_H_

@@ -1,0 +1,32 @@
+#include "graph/builder.h"
+#include "graph/range_tree_md.h"
+#include "order/partial_order.h"
+
+namespace power {
+
+PairGraph RangeTreeMdBuilder::Build(
+    const std::vector<std::vector<double>>& sims) const {
+  PairGraph graph{std::vector<std::vector<double>>(sims)};
+  if (sims.empty()) return graph;
+
+  RangeTreeMd tree;
+  tree.Build(std::vector<std::vector<double>>(sims));
+
+  std::vector<int> candidates;
+  for (size_t v = 0; v < sims.size(); ++v) {
+    candidates.clear();
+    tree.QueryDominated(sims[v], &candidates);
+    for (int c : candidates) {
+      // Weak dominance is guaranteed by the tree; only equality (and self)
+      // must be excluded for a strict edge.
+      if (c == static_cast<int>(v)) continue;
+      if (StrictlyDominates(sims[v], sims[static_cast<size_t>(c)])) {
+        graph.AddEdge(static_cast<int>(v), c);
+      }
+    }
+  }
+  graph.DedupEdges();
+  return graph;
+}
+
+}  // namespace power

@@ -1,0 +1,23 @@
+#ifndef POWER_GROUP_GREEDY_GROUPER_H_
+#define POWER_GROUP_GREEDY_GROUPER_H_
+
+#include "group/group.h"
+
+namespace power {
+
+/// Appendix A "Vertex Grouping: Greedy": enumerates maximal groups (per
+/// attribute via sorted sliding windows, joined across attributes by set
+/// intersection — Theorem 3), then greedily covers the vertex set by
+/// repeatedly taking the largest remaining group. ln|V| approximation of the
+/// NP-hard optimum (Theorem 1); exponential-ish in m and slow on large
+/// inputs (the paper could not run it on ACMPub within 10 hours).
+class GreedyGrouper : public Grouper {
+ public:
+  const char* name() const override { return "Greedy"; }
+  std::vector<VertexGroup> Group(const std::vector<std::vector<double>>& sims,
+                                 double epsilon) const override;
+};
+
+}  // namespace power
+
+#endif  // POWER_GROUP_GREEDY_GROUPER_H_

@@ -1,0 +1,75 @@
+#include "group/group.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace power {
+
+VertexGroup MakeGroup(const std::vector<std::vector<double>>& sims,
+                      std::vector<int> members) {
+  POWER_CHECK(!members.empty());
+  std::sort(members.begin(), members.end());
+  const size_t m = sims[members[0]].size();
+  VertexGroup g;
+  g.lower.assign(m, 0.0);
+  g.upper.assign(m, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    double lo = sims[members[0]][k];
+    double hi = lo;
+    for (int v : members) {
+      lo = std::min(lo, sims[v][k]);
+      hi = std::max(hi, sims[v][k]);
+    }
+    g.lower[k] = lo;
+    g.upper[k] = hi;
+  }
+  g.members = std::move(members);
+  return g;
+}
+
+bool IsValidGroup(const std::vector<std::vector<double>>& sims,
+                  const std::vector<int>& members, double epsilon) {
+  if (members.empty()) return false;
+  const size_t m = sims[members[0]].size();
+  for (size_t k = 0; k < m; ++k) {
+    double lo = sims[members[0]][k];
+    double hi = lo;
+    for (int v : members) {
+      lo = std::min(lo, sims[v][k]);
+      hi = std::max(hi, sims[v][k]);
+    }
+    if (hi - lo > epsilon + 1e-12) return false;
+  }
+  return true;
+}
+
+bool IsPartition(const std::vector<VertexGroup>& groups, size_t n) {
+  std::vector<int> seen(n, 0);
+  for (const auto& g : groups) {
+    for (int v : g.members) {
+      if (v < 0 || static_cast<size_t>(v) >= n) return false;
+      if (++seen[v] > 1) return false;
+    }
+  }
+  for (int count : seen) {
+    if (count != 1) return false;
+  }
+  return true;
+}
+
+std::vector<VertexGroup> SingletonGroups(
+    const std::vector<std::vector<double>>& sims) {
+  std::vector<VertexGroup> groups;
+  groups.reserve(sims.size());
+  for (size_t v = 0; v < sims.size(); ++v) {
+    VertexGroup g;
+    g.members = {static_cast<int>(v)};
+    g.lower = sims[v];
+    g.upper = sims[v];
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace power

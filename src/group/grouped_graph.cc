@@ -1,0 +1,41 @@
+#include "group/grouped_graph.h"
+
+#include "order/partial_order.h"
+
+namespace power {
+
+GroupedGraph BuildGroupedGraph(std::vector<VertexGroup> groups) {
+  std::vector<std::vector<double>> midpoints;
+  midpoints.reserve(groups.size());
+  for (const auto& g : groups) {
+    std::vector<double> mid(g.lower.size());
+    for (size_t k = 0; k < mid.size(); ++k) {
+      mid[k] = (g.lower[k] + g.upper[k]) / 2.0;
+    }
+    midpoints.push_back(std::move(mid));
+  }
+  GroupedGraph out;
+  out.graph = PairGraph(std::move(midpoints));
+  int x = static_cast<int>(groups.size());
+  for (int a = 0; a < x; ++a) {
+    for (int b = 0; b < x; ++b) {
+      if (a == b) continue;
+      if (GroupStrictlyDominates(groups[a].lower, groups[b].upper)) {
+        out.graph.AddEdge(a, b);
+      }
+    }
+  }
+  out.graph.DedupEdges();
+  out.groups = std::move(groups);
+  return out;
+}
+
+GroupedGraph BuildUngrouped(const GraphBuilder& builder,
+                            const std::vector<std::vector<double>>& sims) {
+  GroupedGraph out;
+  out.groups = SingletonGroups(sims);
+  out.graph = builder.Build(sims);
+  return out;
+}
+
+}  // namespace power

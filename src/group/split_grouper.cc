@@ -1,0 +1,69 @@
+#include "group/split_grouper.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace power {
+
+std::vector<VertexGroup> SplitGrouper::Group(
+    const std::vector<std::vector<double>>& sims, double epsilon) const {
+  POWER_CHECK(epsilon >= 0.0);
+  std::vector<VertexGroup> result;
+  if (sims.empty()) return result;
+  const size_t m = sims[0].size();
+
+  std::vector<int> all(sims.size());
+  for (size_t v = 0; v < sims.size(); ++v) all[v] = static_cast<int>(v);
+
+  std::deque<std::vector<int>> queue;
+  queue.push_back(std::move(all));
+
+  while (!queue.empty()) {
+    std::vector<int> node = std::move(queue.front());
+    queue.pop_front();
+
+    // Per-attribute value ranges of this node.
+    std::vector<double> lo(m), hi(m);
+    for (size_t k = 0; k < m; ++k) {
+      lo[k] = hi[k] = sims[node[0]][k];
+      for (int v : node) {
+        lo[k] = std::min(lo[k], sims[v][k]);
+        hi[k] = std::max(hi[k], sims[v][k]);
+      }
+    }
+    std::vector<size_t> split_dims;
+    for (size_t k = 0; k < m; ++k) {
+      if (hi[k] - lo[k] > epsilon) split_dims.push_back(k);
+    }
+    if (split_dims.empty()) {
+      result.push_back(MakeGroup(sims, std::move(node)));
+      continue;
+    }
+    // Distribute members into the 2^t children by the halves they fall in:
+    // [l, (l+u)/2] vs ((l+u)/2, u] on every split attribute. Empty children
+    // are never materialized.
+    std::unordered_map<uint64_t, std::vector<int>> children;
+    POWER_CHECK_MSG(split_dims.size() <= 63, "too many split attributes");
+    for (int v : node) {
+      uint64_t key = 0;
+      for (size_t t = 0; t < split_dims.size(); ++t) {
+        size_t k = split_dims[t];
+        double mid = (lo[k] + hi[k]) / 2.0;
+        if (sims[v][k] > mid) key |= (1ULL << t);
+      }
+      children[key].push_back(v);
+    }
+    // Every split halves at least one attribute range, so recursion depth is
+    // bounded by log2(range/epsilon) per attribute and terminates.
+    for (auto& [key, members] : children) {
+      queue.push_back(std::move(members));
+    }
+  }
+  return result;
+}
+
+}  // namespace power

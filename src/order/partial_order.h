@@ -1,0 +1,44 @@
+#ifndef POWER_ORDER_PARTIAL_ORDER_H_
+#define POWER_ORDER_PARTIAL_ORDER_H_
+
+#include <vector>
+
+namespace power {
+
+/// The paper's partial order on similarity vectors (§3.1, Eqs. 3-4):
+///   a ⪰ b  iff  a_k >= b_k for every attribute k              (Dominates)
+///   a ≻ b  iff  a ⪰ b and a_k > b_k for some k        (StrictlyDominates)
+///
+/// Vectors must have equal length. Comparisons use exact doubles: the
+/// similarity pipeline produces the same bit pattern for equal inputs, and
+/// grouping (not fuzzy compares) is the paper's mechanism for "almost equal"
+/// vectors.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
+bool StrictlyDominates(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// True iff a ≻ b or b ≻ a (the vertices would be connected in the DAG).
+bool Comparable(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Three-way dominance relation, computed in one pass (the builders' hot
+/// path: two StrictlyDominates calls would scan the vectors twice).
+enum class DomOrder {
+  kDominates,    // a ≻ b
+  kDominatedBy,  // b ≻ a
+  kEqual,        // a == b componentwise (⪰ both ways, ≻ neither)
+  kIncomparable,
+};
+DomOrder CompareDominance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Partial order on groups via interval bounds (§4.2, Eqs. 5-6):
+/// g_i ⪰ g_j iff l_i^k >= u_j^k for all k; strict if additionally > on some
+/// k. `lower`/`upper` are the groups' per-attribute min/max similarity.
+bool GroupDominates(const std::vector<double>& lower_i,
+                    const std::vector<double>& upper_j);
+bool GroupStrictlyDominates(const std::vector<double>& lower_i,
+                            const std::vector<double>& upper_j);
+
+}  // namespace power
+
+#endif  // POWER_ORDER_PARTIAL_ORDER_H_

@@ -1,0 +1,35 @@
+#ifndef POWER_PLATFORM_HIT_H_
+#define POWER_PLATFORM_HIT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace power {
+
+/// One pair-comparison question inside a HIT.
+struct PairQuestion {
+  int i = -1;
+  int j = -1;
+};
+
+/// A Human Intelligence Task as the paper posts them on AMT (§7.1): up to
+/// ten pair questions, one price for the whole HIT per assignment.
+struct Hit {
+  int64_t id = -1;
+  std::vector<PairQuestion> questions;
+  double reward_dollars = 0.10;
+};
+
+/// One worker's completed pass over a HIT.
+struct Assignment {
+  int64_t hit_id = -1;
+  int worker_id = -1;
+  /// answers[q] is the worker's YES/NO for hit.questions[q].
+  std::vector<bool> answers;
+  /// Simulated wall-clock seconds from posting until this worker submitted.
+  double latency_seconds = 0.0;
+};
+
+}  // namespace power
+
+#endif  // POWER_PLATFORM_HIT_H_

@@ -1,0 +1,139 @@
+#include "platform/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/similarity_matrix.h"
+#include "util/check.h"
+
+namespace power {
+
+CrowdPlatform::CrowdPlatform(const Table* table,
+                             const PlatformConfig& config)
+    : table_(table),
+      config_(config),
+      pool_(config.pool_size, config.accuracy_lo, config.accuracy_hi,
+            config.seed * 7919 + 1),
+      rng_(config.seed) {
+  POWER_CHECK(table != nullptr);
+  POWER_CHECK(config.assignments_per_hit >= 1);
+  POWER_CHECK(config.questions_per_hit >= 1);
+}
+
+bool CrowdPlatform::Truth(const PairQuestion& q) const {
+  return table_->record(q.i).entity_id == table_->record(q.j).entity_id;
+}
+
+double CrowdPlatform::Difficulty(const PairQuestion& q) const {
+  double s = RecordLevelJaccard(*table_, q.i, q.j);
+  return config_.difficulty_scale * (1.0 - 2.0 * std::abs(s - 0.5));
+}
+
+bool CrowdPlatform::WorkerAnswers(const SimWorker& worker, bool truth,
+                                  double difficulty) {
+  // Same task-difficulty model as CrowdSimulator, driven by the worker's
+  // latent accuracy.
+  double gamma = 1.0 + 4.0 * (1.0 - worker.true_accuracy);
+  double p_correct =
+      0.5 + 0.5 * std::pow(1.0 - std::clamp(difficulty, 0.0, 1.0), gamma);
+  bool correct = rng_.Bernoulli(p_correct);
+  return correct ? truth : !truth;
+}
+
+CrowdPlatform::RoundResult CrowdPlatform::PostRound(
+    const std::vector<PairQuestion>& questions) {
+  RoundResult result;
+  if (questions.empty()) return result;
+  ++rounds_posted_;
+
+  // 1. Pack questions into HITs.
+  std::vector<Hit> hits;
+  for (size_t start = 0; start < questions.size();
+       start += config_.questions_per_hit) {
+    Hit hit;
+    hit.id = next_hit_id_++;
+    hit.reward_dollars = config_.reward_per_hit;
+    size_t end = std::min(start + config_.questions_per_hit,
+                          questions.size());
+    hit.questions.assign(questions.begin() + start, questions.begin() + end);
+    hits.push_back(std::move(hit));
+  }
+  hits_posted_ += hits.size();
+
+  // 2. Each HIT is taken by `assignments_per_hit` qualified workers.
+  //    yes_votes[q] accumulates across assignments.
+  std::vector<int> yes_votes(questions.size(), 0);
+  std::vector<int> total_votes(questions.size(), 0);
+  double round_latency = 0.0;
+
+  for (size_t h = 0; h < hits.size(); ++h) {
+    const Hit& hit = hits[h];
+    std::vector<int> workers = pool_.DrawQualified(
+        config_.assignments_per_hit, config_.min_approval_rate, &rng_);
+    POWER_CHECK_MSG(!workers.empty(),
+                    "qualification filter left no eligible workers");
+    std::vector<Assignment> hit_assignments;
+    for (int worker_id : workers) {
+      const SimWorker& worker = pool_.worker(worker_id);
+      Assignment assignment;
+      assignment.hit_id = hit.id;
+      assignment.worker_id = worker_id;
+      assignment.answers.reserve(hit.questions.size());
+      for (const PairQuestion& q : hit.questions) {
+        assignment.answers.push_back(
+            WorkerAnswers(worker, Truth(q), Difficulty(q)));
+      }
+      // Latency: exponential-ish around the worker's mean speed.
+      double u = rng_.UniformDouble(1e-6, 1.0);
+      assignment.latency_seconds = worker.mean_hit_seconds * -std::log(u);
+      round_latency = std::max(round_latency, assignment.latency_seconds);
+      hit_assignments.push_back(std::move(assignment));
+    }
+
+    // 3. Tally votes and approve assignments: a requester without gold
+    //    labels approves a worker who agrees with the per-question majority
+    //    on at least half of the HIT's questions.
+    for (size_t a = 0; a < hit_assignments.size(); ++a) {
+      const Assignment& assignment = hit_assignments[a];
+      for (size_t q = 0; q < hit.questions.size(); ++q) {
+        size_t global_q = h * config_.questions_per_hit + q;
+        if (assignment.answers[q]) ++yes_votes[global_q];
+        ++total_votes[global_q];
+      }
+    }
+    for (const Assignment& assignment : hit_assignments) {
+      int agreements = 0;
+      for (size_t q = 0; q < hit.questions.size(); ++q) {
+        size_t global_q = h * config_.questions_per_hit + q;
+        bool majority_yes = 2 * yes_votes[global_q] > total_votes[global_q];
+        if (assignment.answers[q] == majority_yes) ++agreements;
+      }
+      bool approved = 2 * agreements >=
+                      static_cast<int>(hit.questions.size());
+      pool_.RecordSubmission(assignment.worker_id, approved);
+      total_cost_ += hit.reward_dollars;  // paid per assignment
+      ++assignments_completed_;
+    }
+    result.assignments.insert(result.assignments.end(),
+                              hit_assignments.begin(), hit_assignments.end());
+    assignment_log_.insert(assignment_log_.end(), hit_assignments.begin(),
+                           hit_assignments.end());
+    hit_log_.push_back(hit);
+  }
+
+  result.votes.reserve(questions.size());
+  for (size_t q = 0; q < questions.size(); ++q) {
+    VoteResult vote;
+    vote.yes_votes = yes_votes[q];
+    vote.total_votes = total_votes[q];
+    result.votes.push_back(vote);
+  }
+  result.latency_seconds = round_latency;
+  result.cost_dollars =
+      static_cast<double>(result.assignments.size()) *
+      config_.reward_per_hit;
+  total_latency_ += round_latency;
+  return result;
+}
+
+}  // namespace power

@@ -1,0 +1,99 @@
+#ifndef POWER_PLATFORM_PLATFORM_H_
+#define POWER_PLATFORM_PLATFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crowd/worker.h"
+#include "data/table.h"
+#include "platform/hit.h"
+#include "platform/worker_pool.h"
+#include "util/rng.h"
+
+namespace power {
+
+/// Configuration of the simulated crowdsourcing marketplace, mirroring the
+/// paper's AMT deployment (§7.1): ten pair questions per HIT, $0.10 per HIT
+/// per assignment, five assignments per HIT, approval-rate qualification.
+struct PlatformConfig {
+  size_t pool_size = 200;
+  double accuracy_lo = 0.70;
+  double accuracy_hi = 0.99;
+  int assignments_per_hit = 5;  // the paper's z = 5 workers per question
+  double min_approval_rate = 0.0;  // AMT qualification filter
+  size_t questions_per_hit = 10;
+  double reward_per_hit = 0.10;
+  /// Dataset hardness (DatasetProfile::human_hardness) applied to the
+  /// task-difficulty answer model.
+  double difficulty_scale = 0.5;
+  uint64_t seed = 17;
+};
+
+/// An AMT-like marketplace simulation: packs pair questions into HITs,
+/// assigns each HIT to qualified workers, simulates their answers (the same
+/// task-difficulty model as CrowdSimulator) and per-assignment latencies,
+/// approves assignments by majority agreement (requesters have no gold
+/// labels), and keeps the cost / latency / approval ledgers the paper's
+/// latency and cost figures are built from.
+///
+/// Ground truth for answer generation comes from the bound table's entity
+/// ids, exactly as in CrowdOracle.
+class CrowdPlatform {
+ public:
+  CrowdPlatform(const Table* table, const PlatformConfig& config);
+
+  struct RoundResult {
+    /// Majority-voted result per posted question, in input order.
+    std::vector<VoteResult> votes;
+    /// Wall-clock seconds for the round: HITs run in parallel, the round
+    /// completes when its slowest assignment is submitted.
+    double latency_seconds = 0.0;
+    double cost_dollars = 0.0;
+    std::vector<Assignment> assignments;
+  };
+
+  /// Posts one round of questions (one iteration of a §5 selector). The
+  /// questions are packed into ceil(n / questions_per_hit) HITs.
+  RoundResult PostRound(const std::vector<PairQuestion>& questions);
+
+  // Ledger over the platform's lifetime.
+  double total_cost_dollars() const { return total_cost_; }
+  double total_latency_seconds() const { return total_latency_; }
+  size_t hits_posted() const { return hits_posted_; }
+  size_t assignments_completed() const { return assignments_completed_; }
+  size_t rounds_posted() const { return rounds_posted_; }
+
+  const WorkerPool& pool() const { return pool_; }
+  const PlatformConfig& config() const { return config_; }
+
+  /// Full history of posted HITs and completed assignments, for offline
+  /// analysis (e.g. Dawid-Skene worker-quality estimation over the vote
+  /// matrix — crowd/quality_estimation.h).
+  const std::vector<Hit>& hit_log() const { return hit_log_; }
+  const std::vector<Assignment>& assignment_log() const {
+    return assignment_log_;
+  }
+
+ private:
+  bool Truth(const PairQuestion& q) const;
+  double Difficulty(const PairQuestion& q) const;
+  bool WorkerAnswers(const SimWorker& worker, bool truth,
+                     double difficulty);
+
+  const Table* table_;
+  PlatformConfig config_;
+  WorkerPool pool_;
+  Rng rng_;
+  int64_t next_hit_id_ = 0;
+  std::vector<Hit> hit_log_;
+  std::vector<Assignment> assignment_log_;
+  double total_cost_ = 0.0;
+  double total_latency_ = 0.0;
+  size_t hits_posted_ = 0;
+  size_t assignments_completed_ = 0;
+  size_t rounds_posted_ = 0;
+};
+
+}  // namespace power
+
+#endif  // POWER_PLATFORM_PLATFORM_H_

@@ -1,0 +1,40 @@
+#include "platform/platform_oracle.h"
+
+#include "sim/pair.h"
+#include "util/check.h"
+
+namespace power {
+
+PlatformOracle::PlatformOracle(CrowdPlatform* platform)
+    : platform_(platform) {
+  POWER_CHECK(platform != nullptr);
+}
+
+VoteResult PlatformOracle::Ask(int i, int j) {
+  return AskBatch({{i, j}})[0];
+}
+
+std::vector<VoteResult> PlatformOracle::AskBatch(
+    const std::vector<std::pair<int, int>>& pairs) {
+  // Post only the pairs we have never asked; cached pairs replay.
+  std::vector<PairQuestion> fresh;
+  for (const auto& [i, j] : pairs) {
+    if (cache_.find(PairKey(i, j)) == cache_.end()) {
+      fresh.push_back({i, j});
+    }
+  }
+  if (!fresh.empty()) {
+    CrowdPlatform::RoundResult round = platform_->PostRound(fresh);
+    for (size_t f = 0; f < fresh.size(); ++f) {
+      cache_.emplace(PairKey(fresh[f].i, fresh[f].j), round.votes[f]);
+    }
+  }
+  std::vector<VoteResult> out;
+  out.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    out.push_back(cache_.at(PairKey(i, j)));
+  }
+  return out;
+}
+
+}  // namespace power

@@ -1,0 +1,34 @@
+#ifndef POWER_PLATFORM_PLATFORM_ORACLE_H_
+#define POWER_PLATFORM_PLATFORM_ORACLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "crowd/pair_oracle.h"
+#include "platform/platform.h"
+
+namespace power {
+
+/// PairOracle adapter over the HIT-based marketplace simulation: every
+/// AskBatch call from the framework becomes one platform round (one
+/// iteration of crowd latency), packed into HITs of ten questions exactly
+/// as the paper posted them. Answers are cached per pair (the replay
+/// protocol), so re-asked pairs cost nothing and return identical votes.
+class PlatformOracle : public PairOracle {
+ public:
+  explicit PlatformOracle(CrowdPlatform* platform);
+
+  VoteResult Ask(int i, int j) override;
+  std::vector<VoteResult> AskBatch(
+      const std::vector<std::pair<int, int>>& pairs) override;
+
+  const CrowdPlatform& platform() const { return *platform_; }
+
+ private:
+  CrowdPlatform* platform_;
+  std::unordered_map<uint64_t, VoteResult> cache_;
+};
+
+}  // namespace power
+
+#endif  // POWER_PLATFORM_PLATFORM_ORACLE_H_

@@ -1,0 +1,55 @@
+#include "platform/worker_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace power {
+
+WorkerPool::WorkerPool(size_t num_workers, double accuracy_lo,
+                       double accuracy_hi, uint64_t seed) {
+  POWER_CHECK(num_workers >= 1);
+  POWER_CHECK(accuracy_lo <= accuracy_hi);
+  Rng rng(seed);
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    SimWorker worker;
+    worker.id = static_cast<int>(w);
+    worker.true_accuracy = rng.UniformDouble(accuracy_lo, accuracy_hi);
+    // Log-ish spread of speeds: 20s to ~3 minutes per HIT.
+    worker.mean_hit_seconds = 20.0 + rng.UniformDouble(0.0, 160.0);
+    workers_.push_back(worker);
+  }
+}
+
+const SimWorker& WorkerPool::worker(int id) const {
+  POWER_CHECK(id >= 0 && static_cast<size_t>(id) < workers_.size());
+  return workers_[id];
+}
+
+SimWorker* WorkerPool::mutable_worker(int id) {
+  POWER_CHECK(id >= 0 && static_cast<size_t>(id) < workers_.size());
+  return &workers_[id];
+}
+
+std::vector<int> WorkerPool::DrawQualified(int count,
+                                           double min_approval_rate,
+                                           Rng* rng) const {
+  std::vector<int> qualified;
+  for (const auto& w : workers_) {
+    if (w.approval_rate() >= min_approval_rate) qualified.push_back(w.id);
+  }
+  rng->Shuffle(&qualified);
+  if (static_cast<size_t>(count) < qualified.size()) {
+    qualified.resize(count);
+  }
+  return qualified;
+}
+
+void WorkerPool::RecordSubmission(int worker_id, bool approved) {
+  SimWorker* w = mutable_worker(worker_id);
+  ++w->submitted;
+  if (approved) ++w->approved;
+}
+
+}  // namespace power

@@ -1,0 +1,61 @@
+#ifndef POWER_PLATFORM_WORKER_POOL_H_
+#define POWER_PLATFORM_WORKER_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace power {
+
+/// A simulated crowd worker. `true_accuracy` is latent (what the worker
+/// actually does on easy questions); `approval_rate()` is what the platform
+/// exposes — the fraction of this worker's past assignments that were
+/// approved, which is how AMT's qualification filters work and why the
+/// paper's §7.2 distinguishes historical from actual accuracy.
+struct SimWorker {
+  int id = -1;
+  double true_accuracy = 0.9;
+  /// Mean seconds this worker takes per HIT (they differ a lot on AMT).
+  double mean_hit_seconds = 60.0;
+  int64_t approved = 0;
+  int64_t submitted = 0;
+
+  double approval_rate() const {
+    // Optimistic prior: a worker with no history passes the filters, as on
+    // real platforms where requesters cannot see an empty history.
+    if (submitted == 0) return 1.0;
+    return static_cast<double>(approved) / static_cast<double>(submitted);
+  }
+};
+
+/// The pool of workers a crowdsourcing platform draws from. Accuracies are
+/// sampled from a band at construction; approval histories accumulate as
+/// assignments are (dis)approved, so qualification filters become
+/// meaningful over a simulation's lifetime.
+class WorkerPool {
+ public:
+  /// `accuracy_lo/hi`: latent accuracy band of the population.
+  WorkerPool(size_t num_workers, double accuracy_lo, double accuracy_hi,
+             uint64_t seed);
+
+  size_t size() const { return workers_.size(); }
+  const SimWorker& worker(int id) const;
+  SimWorker* mutable_worker(int id);
+
+  /// Draws `count` *distinct* workers whose approval rate is at least
+  /// `min_approval_rate`, uniformly at random. Returns fewer if the
+  /// qualified sub-pool is smaller than `count`.
+  std::vector<int> DrawQualified(int count, double min_approval_rate,
+                                 Rng* rng) const;
+
+  /// Records an approval decision on a worker's submitted assignment.
+  void RecordSubmission(int worker_id, bool approved);
+
+ private:
+  std::vector<SimWorker> workers_;
+};
+
+}  // namespace power
+
+#endif  // POWER_PLATFORM_WORKER_POOL_H_

@@ -1,0 +1,87 @@
+#include "select/matching.h"
+
+#include <deque>
+#include <limits>
+
+#include "util/check.h"
+
+namespace power {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+HopcroftKarp::HopcroftKarp(int num_left, int num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      adj_(num_left),
+      match_left_(num_left, -1),
+      match_right_(num_right, -1),
+      dist_(num_left, 0) {}
+
+void HopcroftKarp::AddEdge(int l, int r) {
+  POWER_CHECK(l >= 0 && l < num_left_);
+  POWER_CHECK(r >= 0 && r < num_right_);
+  adj_[l].push_back(r);
+  solved_ = false;
+}
+
+bool HopcroftKarp::Bfs() {
+  std::deque<int> queue;
+  for (int l = 0; l < num_left_; ++l) {
+    if (match_left_[l] == -1) {
+      dist_[l] = 0;
+      queue.push_back(l);
+    } else {
+      dist_[l] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    int l = queue.front();
+    queue.pop_front();
+    for (int r : adj_[l]) {
+      int next = match_right_[r];
+      if (next == -1) {
+        found_augmenting = true;
+      } else if (dist_[next] == kInf) {
+        dist_[next] = dist_[l] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool HopcroftKarp::Dfs(int l) {
+  for (int r : adj_[l]) {
+    int next = match_right_[r];
+    if (next == -1 || (dist_[next] == dist_[l] + 1 && Dfs(next))) {
+      match_left_[l] = r;
+      match_right_[r] = l;
+      return true;
+    }
+  }
+  dist_[l] = kInf;
+  return false;
+}
+
+int HopcroftKarp::Solve() {
+  if (solved_) {
+    int size = 0;
+    for (int l = 0; l < num_left_; ++l) {
+      if (match_left_[l] != -1) ++size;
+    }
+    return size;
+  }
+  int size = 0;
+  while (Bfs()) {
+    for (int l = 0; l < num_left_; ++l) {
+      if (match_left_[l] == -1 && Dfs(l)) ++size;
+    }
+  }
+  solved_ = true;
+  return size;
+}
+
+}  // namespace power

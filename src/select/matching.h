@@ -1,0 +1,44 @@
+#ifndef POWER_SELECT_MATCHING_H_
+#define POWER_SELECT_MATCHING_H_
+
+#include <vector>
+
+namespace power {
+
+/// Maximum bipartite matching via Hopcroft-Karp, O(E sqrt(V)).
+///
+/// Used for the Dilworth minimum path cover (§5.2): the paper computes a
+/// maximal matching in O(B|V|^2) [Felsner et al.]; a maximum matching yields
+/// the same minimal path count (Fulkerson: #paths = |V| - |matching|) and is
+/// faster.
+class HopcroftKarp {
+ public:
+  HopcroftKarp(int num_left, int num_right);
+
+  /// Adds an edge from left vertex l to right vertex r.
+  void AddEdge(int l, int r);
+
+  /// Computes the maximum matching; returns its size. Idempotent.
+  int Solve();
+
+  /// match_left()[l] = matched right vertex or -1. Valid after Solve().
+  const std::vector<int>& match_left() const { return match_left_; }
+  /// match_right()[r] = matched left vertex or -1. Valid after Solve().
+  const std::vector<int>& match_right() const { return match_right_; }
+
+ private:
+  bool Bfs();
+  bool Dfs(int l);
+
+  int num_left_;
+  int num_right_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> match_left_;
+  std::vector<int> match_right_;
+  std::vector<int> dist_;
+  bool solved_ = false;
+};
+
+}  // namespace power
+
+#endif  // POWER_SELECT_MATCHING_H_

@@ -1,0 +1,25 @@
+#include "select/multi_path_selector.h"
+
+#include "select/path_cover.h"
+
+namespace power {
+
+std::vector<int> MultiPathSelector::NextBatch(const ColoringState& state) {
+  const PairGraph& graph = state.graph();
+  std::vector<bool> active(graph.num_vertices(), false);
+  bool any = false;
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    if (state.color(static_cast<int>(v)) == Color::kUncolored) {
+      active[v] = true;
+      any = true;
+    }
+  }
+  if (!any) return {};
+  std::vector<int> batch;
+  for (const auto& path : MinimumPathCover(graph, active)) {
+    batch.push_back(path[path.size() / 2]);
+  }
+  return batch;
+}
+
+}  // namespace power

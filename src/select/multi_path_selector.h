@@ -1,0 +1,19 @@
+#ifndef POWER_SELECT_MULTI_PATH_SELECTOR_H_
+#define POWER_SELECT_MULTI_PATH_SELECTOR_H_
+
+#include "select/selector.h"
+
+namespace power {
+
+/// Algorithm 7 "Multi-Path" (§5.3.1): recomputes the minimum path cover of
+/// the uncolored subgraph each iteration and asks the mid-vertex of every
+/// path in parallel.
+class MultiPathSelector : public QuestionSelector {
+ public:
+  const char* name() const override { return "MultiPath"; }
+  std::vector<int> NextBatch(const ColoringState& state) override;
+};
+
+}  // namespace power
+
+#endif  // POWER_SELECT_MULTI_PATH_SELECTOR_H_

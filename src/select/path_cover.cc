@@ -1,0 +1,42 @@
+#include "select/path_cover.h"
+
+#include "select/matching.h"
+#include "util/check.h"
+
+namespace power {
+
+std::vector<std::vector<int>> MinimumPathCover(
+    const PairGraph& graph, const std::vector<bool>& active) {
+  POWER_CHECK(active.size() == graph.num_vertices());
+  const int n = static_cast<int>(graph.num_vertices());
+
+  // Bipartite model (§5.2): V1 = V2 = V, edge (v1, v2) per DAG edge; a
+  // matching edge (v, v') chains v' directly after v on some path.
+  HopcroftKarp matcher(n, n);
+  for (int v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    for (int c : graph.children(v)) {
+      if (active[c]) matcher.AddEdge(v, c);
+    }
+  }
+  matcher.Solve();
+  const auto& next = matcher.match_left();
+  const auto& prev = matcher.match_right();
+
+  // Path heads: active vertices with no in-edge in the matching.
+  std::vector<std::vector<int>> paths;
+  for (int v = 0; v < n; ++v) {
+    if (!active[v] || prev[v] != -1) continue;
+    std::vector<int> path;
+    for (int u = v; u != -1; u = next[u]) path.push_back(u);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<std::vector<int>> MinimumPathCover(const PairGraph& graph) {
+  return MinimumPathCover(graph,
+                          std::vector<bool>(graph.num_vertices(), true));
+}
+
+}  // namespace power

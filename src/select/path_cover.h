@@ -1,0 +1,26 @@
+#ifndef POWER_SELECT_PATH_COVER_H_
+#define POWER_SELECT_PATH_COVER_H_
+
+#include <vector>
+
+#include "graph/pair_graph.h"
+
+namespace power {
+
+/// Minimum path cover of the comparability DAG restricted to the `active`
+/// vertices (§5.2, Theorem 2). Because the builders emit the full dominance
+/// relation (transitive closure), the cover size equals the width B of the
+/// partial order (Dilworth), and every returned path is a chain ordered from
+/// most-dominating to most-dominated.
+///
+/// Returned paths are disjoint, complete over the active set, and minimal in
+/// number.
+std::vector<std::vector<int>> MinimumPathCover(const PairGraph& graph,
+                                               const std::vector<bool>& active);
+
+/// Convenience overload covering all vertices.
+std::vector<std::vector<int>> MinimumPathCover(const PairGraph& graph);
+
+}  // namespace power
+
+#endif  // POWER_SELECT_PATH_COVER_H_

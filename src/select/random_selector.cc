@@ -1,0 +1,11 @@
+#include "select/random_selector.h"
+
+namespace power {
+
+std::vector<int> RandomSelector::NextBatch(const ColoringState& state) {
+  std::vector<int> uncolored = state.UncoloredVertices();
+  if (uncolored.empty()) return {};
+  return {uncolored[rng_.UniformIndex(uncolored.size())]};
+}
+
+}  // namespace power

@@ -1,0 +1,23 @@
+#ifndef POWER_SELECT_RANDOM_SELECTOR_H_
+#define POWER_SELECT_RANDOM_SELECTOR_H_
+
+#include "select/selector.h"
+#include "util/rng.h"
+
+namespace power {
+
+/// Serial baseline (Appendix E.2.1): asks one uniformly-random uncolored
+/// vertex per iteration.
+class RandomSelector : public QuestionSelector {
+ public:
+  explicit RandomSelector(uint64_t seed) : rng_(seed) {}
+  const char* name() const override { return "Random"; }
+  std::vector<int> NextBatch(const ColoringState& state) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace power
+
+#endif  // POWER_SELECT_RANDOM_SELECTOR_H_

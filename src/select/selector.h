@@ -1,0 +1,40 @@
+#ifndef POWER_SELECT_SELECTOR_H_
+#define POWER_SELECT_SELECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/coloring.h"
+
+namespace power {
+
+/// A question-selection strategy (§5). The framework drives the loop: each
+/// call returns the next batch of uncolored vertices to crowdsource (one
+/// iteration of latency); answers are applied to the ColoringState by the
+/// caller before the next call.
+///
+/// Contract: while uncolored vertices exist, NextBatch returns a non-empty
+/// batch of distinct, currently-uncolored vertices.
+class QuestionSelector {
+ public:
+  virtual ~QuestionSelector() = default;
+  virtual const char* name() const = 0;
+  virtual std::vector<int> NextBatch(const ColoringState& state) = 0;
+};
+
+enum class SelectorKind {
+  kRandom,      // serial baseline (Appendix E.2.1)
+  kSinglePath,  // Algorithm 3: path cover + binary search, 1 question/iter
+  kMultiPath,   // Algorithm 7: mid-vertices of all paths in parallel
+  kTopoSort,    // Algorithm 4 ("Power"): middle topological level
+};
+
+const char* SelectorKindName(SelectorKind kind);
+
+/// Factory. `seed` feeds the random selector and tie-breaking.
+std::unique_ptr<QuestionSelector> MakeSelector(SelectorKind kind,
+                                               uint64_t seed);
+
+}  // namespace power
+
+#endif  // POWER_SELECT_SELECTOR_H_

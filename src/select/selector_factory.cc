@@ -1,0 +1,38 @@
+#include "select/multi_path_selector.h"
+#include "select/random_selector.h"
+#include "select/selector.h"
+#include "select/single_path_selector.h"
+#include "select/topo_selector.h"
+
+namespace power {
+
+const char* SelectorKindName(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kRandom:
+      return "Random";
+    case SelectorKind::kSinglePath:
+      return "SinglePath";
+    case SelectorKind::kMultiPath:
+      return "MultiPath";
+    case SelectorKind::kTopoSort:
+      return "TopoSort";
+  }
+  return "?";
+}
+
+std::unique_ptr<QuestionSelector> MakeSelector(SelectorKind kind,
+                                               uint64_t seed) {
+  switch (kind) {
+    case SelectorKind::kRandom:
+      return std::make_unique<RandomSelector>(seed);
+    case SelectorKind::kSinglePath:
+      return std::make_unique<SinglePathSelector>();
+    case SelectorKind::kMultiPath:
+      return std::make_unique<MultiPathSelector>();
+    case SelectorKind::kTopoSort:
+      return std::make_unique<TopoSortSelector>();
+  }
+  return nullptr;
+}
+
+}  // namespace power

@@ -1,0 +1,26 @@
+#ifndef POWER_SELECT_SINGLE_PATH_SELECTOR_H_
+#define POWER_SELECT_SINGLE_PATH_SELECTOR_H_
+
+#include "select/selector.h"
+
+namespace power {
+
+/// Algorithm 3 "SinglePath": computes the minimum disjoint path cover of the
+/// uncolored subgraph, then binary-searches the longest path — each iteration
+/// asks the mid-vertex of the path's uncolored remainder (answers propagate
+/// graph-wide between asks, exactly as in the paper's walk-through of
+/// Fig. 5). When the current path is exhausted the cover is recomputed.
+/// Asks exactly one question per iteration; serially optimal (O(B log |V|)
+/// questions in the error-free case).
+class SinglePathSelector : public QuestionSelector {
+ public:
+  const char* name() const override { return "SinglePath"; }
+  std::vector<int> NextBatch(const ColoringState& state) override;
+
+ private:
+  std::vector<int> current_path_;
+};
+
+}  // namespace power
+
+#endif  // POWER_SELECT_SINGLE_PATH_SELECTOR_H_

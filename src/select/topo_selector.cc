@@ -1,0 +1,32 @@
+#include "select/topo_selector.h"
+
+#include "util/check.h"
+
+namespace power {
+
+std::vector<int> TopoSortSelector::NextBatch(const ColoringState& state) {
+  const PairGraph& graph = state.graph();
+  std::vector<bool> active(graph.num_vertices(), false);
+  bool any = false;
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    if (state.color(static_cast<int>(v)) == Color::kUncolored) {
+      active[v] = true;
+      any = true;
+    }
+  }
+  if (!any) return {};
+  auto levels = graph.TopologicalLevels(active);
+  POWER_CHECK_MSG(!levels.empty(), "uncolored subgraph must be acyclic");
+  switch (policy_) {
+    case LevelPolicy::kFirst:
+      return levels.front();
+    case LevelPolicy::kLast:
+      return levels.back();
+    case LevelPolicy::kMiddle:
+      break;
+  }
+  // Middle level, 1-based ceil((|L|+1)/2) -> 0-based (|L|-1)/2.
+  return levels[(levels.size() - 1) / 2];
+}
+
+}  // namespace power

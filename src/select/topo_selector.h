@@ -1,0 +1,33 @@
+#ifndef POWER_SELECT_TOPO_SELECTOR_H_
+#define POWER_SELECT_TOPO_SELECTOR_H_
+
+#include "select/selector.h"
+
+namespace power {
+
+/// Algorithm 4, the paper's "Power" selection (§5.3.2): topologically sorts
+/// the uncolored subgraph into levels L1..L|L| and asks the entire middle
+/// level L_ceil((|L|+1)/2) in parallel — those vertices are mutually
+/// independent (no in-edges among them) and most likely to straddle the
+/// GREEN/RED boundary. (The paper's "L_{|L|+1}" is read as the middle level;
+/// its worked example with |L| = 5 asks L3.)
+class TopoSortSelector : public QuestionSelector {
+ public:
+  /// Which level of the topological sort to crowdsource each round. The
+  /// paper argues for the middle level (boundary vertices concentrate
+  /// there); kFirst/kLast exist for the ablation bench, which confirms the
+  /// argument empirically.
+  enum class LevelPolicy { kFirst, kMiddle, kLast };
+
+  explicit TopoSortSelector(LevelPolicy policy = LevelPolicy::kMiddle)
+      : policy_(policy) {}
+  const char* name() const override { return "TopoSort"; }
+  std::vector<int> NextBatch(const ColoringState& state) override;
+
+ private:
+  LevelPolicy policy_;
+};
+
+}  // namespace power
+
+#endif  // POWER_SELECT_TOPO_SELECTOR_H_

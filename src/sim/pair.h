@@ -1,0 +1,37 @@
+#ifndef POWER_SIM_PAIR_H_
+#define POWER_SIM_PAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace power {
+
+/// A similar record pair p_ij that survived pruning, carrying its
+/// per-attribute similarity vector (s_ij^1 .. s_ij^m). These are the graph
+/// vertices of the partial-order framework (Definition 2).
+struct SimilarPair {
+  int i = -1;  // record index, i < j
+  int j = -1;
+  std::vector<double> sims;
+};
+
+/// Canonical 64-bit key for a record pair (i < j), used by the answer cache
+/// and evaluation sets.
+inline uint64_t PairKey(int i, int j) {
+  if (i > j) {
+    int t = i;
+    i = j;
+    j = t;
+  }
+  return (static_cast<uint64_t>(static_cast<uint32_t>(i)) << 32) |
+         static_cast<uint32_t>(j);
+}
+
+inline int PairKeyFirst(uint64_t key) { return static_cast<int>(key >> 32); }
+inline int PairKeySecond(uint64_t key) {
+  return static_cast<int>(key & 0xffffffffULL);
+}
+
+}  // namespace power
+
+#endif  // POWER_SIM_PAIR_H_

@@ -1,0 +1,149 @@
+#include "sim/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/tokenizer.h"
+#include "util/strings.h"
+
+namespace power {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string.
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t next_diag = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = next_diag;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_dist) {
+  if (a.size() < b.size()) std::swap(a, b);
+  size_t len_gap = a.size() - b.size();
+  if (len_gap > max_dist) return max_dist + 1;
+  if (b.empty()) return a.size();
+
+  // Ukkonen band of half-width max_dist around the diagonal.
+  const size_t kBig = max_dist + 1;
+  std::vector<size_t> row(b.size() + 1, kBig);
+  for (size_t j = 0; j <= std::min(b.size(), max_dist); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t lo = i > max_dist ? i - max_dist : 1;
+    size_t hi = std::min(b.size(), i + max_dist);
+    if (lo > hi) return max_dist + 1;
+    size_t diag = (lo == 1) ? static_cast<size_t>(i - 1)
+                            : row[lo - 1];  // value of (i-1, lo-1)
+    size_t prev_left = (lo == 1) ? i : kBig;  // value of (i, lo-1)
+    size_t row_min = prev_left;
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t up = row[j];  // value of (i-1, j)
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t val = std::min({up + 1, prev_left + 1, sub});
+      val = std::min(val, kBig);
+      diag = up;
+      row[j] = val;
+      prev_left = val;
+      row_min = std::min(row_min, val);
+    }
+    if (lo > 1) row[lo - 1] = kBig;  // cell left of the band is now invalid
+    if (row_min > max_dist) return max_dist + 1;
+  }
+  return row[b.size()];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  size_t max_len = std::max(la.size(), lb.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(la, lb)) /
+                   static_cast<double>(max_len);
+}
+
+double WordJaccard(std::string_view a, std::string_view b) {
+  return JaccardOfSets(WordTokenSet(a), WordTokenSet(b));
+}
+
+double BigramJaccard(std::string_view a, std::string_view b) {
+  return JaccardOfSets(QGramSet(a, 2), QGramSet(b, 2));
+}
+
+double CosineSimilarity(std::string_view a, std::string_view b) {
+  auto ta = WordTokenSet(a);
+  auto tb = WordTokenSet(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(ta, tb);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(ta.size()) *
+                   static_cast<double>(tb.size()));
+}
+
+double OverlapCoefficient(std::string_view a, std::string_view b) {
+  auto ta = WordTokenSet(a);
+  auto tb = WordTokenSet(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(ta, tb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(ta.size(), tb.size()));
+}
+
+namespace {
+
+bool ParseNumeric(std::string_view s, double* value) {
+  std::string trimmed = Trim(s);
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) return false;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  double va = 0.0;
+  double vb = 0.0;
+  if (!ParseNumeric(a, &va) || !ParseNumeric(b, &vb)) {
+    return BigramJaccard(a, b);
+  }
+  double max_abs = std::max(std::abs(va), std::abs(vb));
+  if (max_abs == 0.0) return 1.0;
+  double sim = 1.0 - std::abs(va - vb) / max_abs;
+  return std::max(0.0, sim);
+}
+
+double ComputeSimilarity(SimilarityFunction fn, std::string_view a,
+                         std::string_view b) {
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return WordJaccard(a, b);
+    case SimilarityFunction::kEditSimilarity:
+      return EditSimilarity(a, b);
+    case SimilarityFunction::kBigramJaccard:
+      return BigramJaccard(a, b);
+    case SimilarityFunction::kCosine:
+      return CosineSimilarity(a, b);
+    case SimilarityFunction::kOverlap:
+      return OverlapCoefficient(a, b);
+    case SimilarityFunction::kNumeric:
+      return NumericSimilarity(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace power

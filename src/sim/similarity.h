@@ -1,0 +1,48 @@
+#ifndef POWER_SIM_SIMILARITY_H_
+#define POWER_SIM_SIMILARITY_H_
+
+#include <string_view>
+
+#include "data/schema.h"
+
+namespace power {
+
+/// Levenshtein edit distance (insert / delete / substitute, unit costs).
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded edit distance: returns the exact distance if it is <= max_dist,
+/// otherwise any value > max_dist. Used by similarity pruning to skip the
+/// full DP when strings are clearly far apart.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_dist);
+
+/// Edit similarity, Eq. 2: 1 - ED(a,b) / max(|a|,|b|). Both empty -> 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Word-token Jaccard, Eq. 1.
+double WordJaccard(std::string_view a, std::string_view b);
+
+/// Jaccard over bigram (2-gram) sets — the paper's default (§7.1).
+double BigramJaccard(std::string_view a, std::string_view b);
+
+/// Cosine similarity over word-token sets: |A ∩ B| / sqrt(|A| * |B|).
+double CosineSimilarity(std::string_view a, std::string_view b);
+
+/// Overlap coefficient over word-token sets: |A ∩ B| / min(|A|, |B|).
+/// 1 whenever one token set contains the other (useful for abbreviated
+/// attribute values).
+double OverlapCoefficient(std::string_view a, std::string_view b);
+
+/// Similarity of numeric values: 1 - |a - b| / max(|a|, |b|), clamped to
+/// [0, 1]; both zero -> 1. Non-numeric input falls back to BigramJaccard
+/// (so the function is safe on mixed columns like Cora's "pages").
+double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// Dispatches on the attribute's configured function.
+double ComputeSimilarity(SimilarityFunction fn, std::string_view a,
+                         std::string_view b);
+
+}  // namespace power
+
+#endif  // POWER_SIM_SIMILARITY_H_

@@ -1,0 +1,52 @@
+#include "sim/similarity_matrix.h"
+
+#include <algorithm>
+
+#include "sim/similarity.h"
+#include "sim/tokenizer.h"
+#include "util/check.h"
+
+namespace power {
+
+SimilarPair ComputePairSimilarity(const Table& table, int i, int j,
+                                  double component_floor) {
+  POWER_CHECK(i != j);
+  if (i > j) std::swap(i, j);
+  SimilarPair p;
+  p.i = i;
+  p.j = j;
+  const Schema& schema = table.schema();
+  p.sims.reserve(schema.num_attributes());
+  for (size_t k = 0; k < schema.num_attributes(); ++k) {
+    double s = ComputeSimilarity(schema.attribute(k).sim, table.Value(i, k),
+                                 table.Value(j, k));
+    if (s < component_floor) s = 0.0;
+    p.sims.push_back(s);
+  }
+  return p;
+}
+
+std::vector<SimilarPair> ComputePairSimilarities(
+    const Table& table, const std::vector<std::pair<int, int>>& candidates,
+    double component_floor) {
+  std::vector<SimilarPair> out;
+  out.reserve(candidates.size());
+  for (const auto& [i, j] : candidates) {
+    out.push_back(ComputePairSimilarity(table, i, j, component_floor));
+  }
+  return out;
+}
+
+double RecordLevelJaccard(const Table& table, int i, int j) {
+  std::string a;
+  std::string b;
+  for (size_t k = 0; k < table.schema().num_attributes(); ++k) {
+    a += table.Value(i, k);
+    a += ' ';
+    b += table.Value(j, k);
+    b += ' ';
+  }
+  return JaccardOfSets(WordTokenSet(a), WordTokenSet(b));
+}
+
+}  // namespace power

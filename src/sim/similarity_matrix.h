@@ -1,0 +1,29 @@
+#ifndef POWER_SIM_SIMILARITY_MATRIX_H_
+#define POWER_SIM_SIMILARITY_MATRIX_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "sim/pair.h"
+
+namespace power {
+
+/// Computes the per-attribute similarity vector of a candidate pair using the
+/// similarity function configured on each attribute (paper §3.1). Components
+/// below `component_floor` (the per-attribute bound τ in Table 2's "if
+/// s_ij^k < τ we set s_ij^k = 0") are clamped to 0.
+SimilarPair ComputePairSimilarity(const Table& table, int i, int j,
+                                  double component_floor);
+
+/// Computes similarity vectors for a batch of candidate pairs.
+std::vector<SimilarPair> ComputePairSimilarities(
+    const Table& table, const std::vector<std::pair<int, int>>& candidates,
+    double component_floor);
+
+/// Record-level similarity used for pruning (paper §7.1): word-token Jaccard
+/// over the concatenation of all attribute values.
+double RecordLevelJaccard(const Table& table, int i, int j);
+
+}  // namespace power
+
+#endif  // POWER_SIM_SIMILARITY_MATRIX_H_

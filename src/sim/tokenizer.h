@@ -1,0 +1,30 @@
+#ifndef POWER_SIM_TOKENIZER_H_
+#define POWER_SIM_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace power {
+
+/// Splits into lower-cased word tokens (whitespace-delimited), deduplicated —
+/// i.e. the token *set* used by Eq. 1's Jaccard.
+std::vector<std::string> WordTokenSet(std::string_view text);
+
+/// Returns the set of distinct q-grams of `text` (lower-cased). A q-gram is a
+/// substring of length q; strings shorter than q yield the whole string as a
+/// single gram (so that e.g. "a" still has a non-empty bigram set and
+/// Jaccard stays well-defined). q = 2 gives the paper's bigram sets.
+std::vector<std::string> QGramSet(std::string_view text, size_t q);
+
+/// Intersection size of two *sorted-unique* token vectors.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+/// Jaccard coefficient of two *sorted-unique* token vectors.
+double JaccardOfSets(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+}  // namespace power
+
+#endif  // POWER_SIM_TOKENIZER_H_

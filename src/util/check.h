@@ -1,0 +1,28 @@
+#ifndef POWER_UTIL_CHECK_H_
+#define POWER_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight invariant checks. POWER_CHECK stays on in release builds:
+// the library is used to reproduce published experiments, and a silently
+// corrupted graph or coloring is worse than an abort.
+#define POWER_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "POWER_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define POWER_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "POWER_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // POWER_UTIL_CHECK_H_

@@ -1,0 +1,97 @@
+#include "util/csv.h"
+
+namespace power {
+
+bool Csv::Parse(std::string_view text,
+                std::vector<std::vector<std::string>>* rows) {
+  rows->clear();
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows->push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);  // Stray quote mid-field: keep it literal.
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // Tolerate CRLF.
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  // Flush a final row without trailing newline.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return !in_quotes;
+}
+
+std::string Csv::EscapeField(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Csv::Serialize(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(EscapeField(row[i]));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace power

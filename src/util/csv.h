@@ -1,0 +1,33 @@
+#ifndef POWER_UTIL_CSV_H_
+#define POWER_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace power {
+
+/// Minimal RFC-4180-style CSV support used for loading/saving record tables.
+/// Handles quoted fields containing commas, quotes (doubled) and newlines.
+///
+/// Parsing reports malformed input by returning false rather than aborting,
+/// since CSV files come from outside the process boundary.
+class Csv {
+ public:
+  /// Parses a full CSV document into rows of fields.
+  /// Returns false on unterminated quotes; `rows` then holds the rows parsed
+  /// so far.
+  static bool Parse(std::string_view text,
+                    std::vector<std::vector<std::string>>* rows);
+
+  /// Serializes rows, quoting fields when needed.
+  static std::string Serialize(
+      const std::vector<std::vector<std::string>>& rows);
+
+  /// Quotes a single field if it contains a comma, quote, or newline.
+  static std::string EscapeField(std::string_view field);
+};
+
+}  // namespace power
+
+#endif  // POWER_UTIL_CSV_H_

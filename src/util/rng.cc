@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace power {
+
+int Rng::UniformInt(int lo, int hi) {
+  POWER_CHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  POWER_CHECK(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+uint64_t Rng::Fork() {
+  // Mix the next engine output so sibling forks are decorrelated.
+  uint64_t x = engine_();
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace power

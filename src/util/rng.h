@@ -1,0 +1,59 @@
+#ifndef POWER_UTIL_RNG_H_
+#define POWER_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace power {
+
+/// Seeded pseudo-random number generator used everywhere in the library.
+///
+/// All experiments in this repository are deterministic functions of explicit
+/// seeds; no component may construct its own unseeded randomness. The class
+/// wraps std::mt19937_64 with the handful of draws the codebase needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform size_t in [0, n - 1]. Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = UniformIndex(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Picks one element uniformly at random. Requires non-empty input.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[UniformIndex(items.size())];
+  }
+
+  /// Derives an independent child seed; used to hand sub-components their own
+  /// streams without correlating draws.
+  uint64_t Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace power
+
+#endif  // POWER_UTIL_RNG_H_

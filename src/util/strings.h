@@ -1,0 +1,30 @@
+#ifndef POWER_UTIL_STRINGS_H_
+#define POWER_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace power {
+
+/// ASCII lower-casing (the datasets in the paper are ASCII).
+std::string ToLower(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace power
+
+#endif  // POWER_UTIL_STRINGS_H_

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "data/paper_example.h"
+#include "eval/cluster_metrics.h"
+#include "eval/ground_truth.h"
+#include "sim/pair.h"
+
+namespace power {
+namespace {
+
+TEST(BuildClustersTest, SingletonsWithoutMatches) {
+  auto clusters = BuildClusters(3, {});
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0], (std::vector<int>{0}));
+  EXPECT_EQ(clusters[2], (std::vector<int>{2}));
+}
+
+TEST(BuildClustersTest, TransitiveClosure) {
+  std::unordered_set<uint64_t> matched = {PairKey(0, 1), PairKey(1, 2),
+                                          PairKey(3, 4)};
+  auto clusters = BuildClusters(5, matched);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<int>{3, 4}));
+}
+
+TEST(ClusterMetricsTest, PerfectPrediction) {
+  Table t = PaperExampleTable();
+  ClusterMetrics m = ComputeClusterMetrics(t, TrueMatchPairs(t));
+  EXPECT_DOUBLE_EQ(m.exact_precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.exact_recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.exact_f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.rand_index, 1.0);
+  EXPECT_EQ(m.num_predicted_clusters, 6u);
+  EXPECT_EQ(m.num_true_clusters, 6u);
+}
+
+TEST(ClusterMetricsTest, AllSingletonsPrediction) {
+  Table t = PaperExampleTable();
+  ClusterMetrics m = ComputeClusterMetrics(t, {});
+  // Predicted: 11 singletons. Correct exact clusters: the 4 true singletons
+  // (r8..r11).
+  EXPECT_EQ(m.num_predicted_clusters, 11u);
+  EXPECT_NEAR(m.exact_precision, 4.0 / 11.0, 1e-12);
+  EXPECT_NEAR(m.exact_recall, 4.0 / 6.0, 1e-12);
+  // Rand index: all 9 true-match pairs disagree; 55 pairs total.
+  EXPECT_NEAR(m.rand_index, (55.0 - 9.0) / 55.0, 1e-12);
+}
+
+TEST(ClusterMetricsTest, OneWrongMergeDropsExactMatch) {
+  Table t = PaperExampleTable();
+  auto matched = TrueMatchPairs(t);
+  matched.insert(PairKey(7, 8));  // merge the singletons r8, r9
+  ClusterMetrics m = ComputeClusterMetrics(t, matched);
+  EXPECT_EQ(m.num_predicted_clusters, 5u);
+  // {r8, r9} is wrong; the other 4 predicted clusters are exact.
+  EXPECT_NEAR(m.exact_precision, 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(m.exact_recall, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(m.rand_index, (55.0 - 1.0) / 55.0, 1e-12);
+}
+
+TEST(ClusterMetricsTest, EmptyTable) {
+  Table t;
+  ClusterMetrics m = ComputeClusterMetrics(t, {});
+  EXPECT_EQ(m.num_predicted_clusters, 0u);
+}
+
+TEST(ClusterMetricsTest, SplitClusterCountsAsMiss) {
+  Table t = PaperExampleTable();
+  // Split {r4..r7} into {r4, r5} and {r6, r7}: exact hits are {r1..r3} and
+  // the 4 singletons.
+  std::unordered_set<uint64_t> matched = {
+      PairKey(0, 1), PairKey(0, 2), PairKey(1, 2),  // r1-r3
+      PairKey(3, 4), PairKey(5, 6)};
+  ClusterMetrics m = ComputeClusterMetrics(t, matched);
+  EXPECT_EQ(m.num_predicted_clusters, 7u);
+  EXPECT_NEAR(m.exact_precision, 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(m.exact_recall, 5.0 / 6.0, 1e-12);
+  // Disagreements: true-match pairs across the split: r4r6, r4r7, r5r6,
+  // r5r7 -> 4 of 55.
+  EXPECT_NEAR(m.rand_index, (55.0 - 4.0) / 55.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace power

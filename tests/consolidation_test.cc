@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/consolidation.h"
+#include "data/paper_example.h"
+#include "eval/ground_truth.h"
+#include "sim/pair.h"
+
+namespace power {
+namespace {
+
+TEST(ConsolidationTest, SingletonsKeepTheirValues) {
+  Table t = PaperExampleTable();
+  auto entities = ConsolidateEntities(t, {});
+  ASSERT_EQ(entities.size(), 11u);
+  for (size_t e = 0; e < entities.size(); ++e) {
+    ASSERT_EQ(entities[e].records.size(), 1u);
+    int r = entities[e].records[0];
+    for (size_t k = 0; k < t.schema().num_attributes(); ++k) {
+      EXPECT_EQ(entities[e].values[k], t.Value(r, k));
+    }
+  }
+}
+
+TEST(ConsolidationTest, PerfectResolutionYieldsSixEntities) {
+  Table t = PaperExampleTable();
+  auto entities = ConsolidateEntities(t, TrueMatchPairs(t));
+  EXPECT_EQ(entities.size(), 6u);
+  // The golden value for each attribute comes from a member record.
+  for (const auto& entity : entities) {
+    for (size_t k = 0; k < t.schema().num_attributes(); ++k) {
+      bool found = false;
+      for (int r : entity.records) {
+        if (t.Value(r, k) == entity.values[k]) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(ConsolidationTest, MedoidPicksTheCentralValue) {
+  // Two identical values and one outlier: the duplicated value wins.
+  Schema schema({{"name", SimilarityFunction::kEditSimilarity}});
+  Table t(schema);
+  t.Add({-1, 0, {"ritz-carlton"}});
+  t.Add({-1, 0, {"ritz-carlton"}});
+  t.Add({-1, 0, {"rtz-cartlon"}});  // typo variant
+  std::unordered_set<uint64_t> matched = {PairKey(0, 1), PairKey(1, 2),
+                                          PairKey(0, 2)};
+  auto entities = ConsolidateEntities(t, matched);
+  ASSERT_EQ(entities.size(), 1u);
+  EXPECT_EQ(entities[0].values[0], "ritz-carlton");
+}
+
+TEST(ConsolidationTest, TieBreakPrefersLongerValue) {
+  // Two equally-similar values: the longer one (full form) wins.
+  Schema schema({{"city", SimilarityFunction::kJaccard}});
+  Table t(schema);
+  t.Add({-1, 0, {"atlanta"}});
+  t.Add({-1, 0, {"city of atlanta"}});
+  auto entities = ConsolidateEntities(t, {PairKey(0, 1)});
+  ASSERT_EQ(entities.size(), 1u);
+  // Both members score Jaccard("atlanta","city of atlanta") symmetrically;
+  // the longer string takes the tie.
+  EXPECT_EQ(entities[0].values[0], "city of atlanta");
+}
+
+TEST(ConsolidationTest, RecordsPartitionTheTable) {
+  Table t = PaperExampleTable();
+  auto entities = ConsolidateEntities(t, TrueMatchPairs(t));
+  std::vector<int> seen(t.num_records(), 0);
+  for (const auto& entity : entities) {
+    for (int r : entity.records) ++seen[r];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "crowd/answer_cache.h"
+#include "crowd/cost_model.h"
+#include "crowd/worker.h"
+#include "data/paper_example.h"
+
+namespace power {
+namespace {
+
+TEST(VoteResultTest, MajorityAndConfidence) {
+  VoteResult v{4, 5};
+  EXPECT_TRUE(v.majority_yes());
+  EXPECT_DOUBLE_EQ(v.confidence(), 0.8);
+  VoteResult w{1, 5};
+  EXPECT_FALSE(w.majority_yes());
+  EXPECT_DOUBLE_EQ(w.confidence(), 0.8);  // 4 of 5 voted the majority (No)
+  VoteResult unanimous{5, 5};
+  EXPECT_DOUBLE_EQ(unanimous.confidence(), 1.0);
+  VoteResult empty{0, 0};
+  EXPECT_DOUBLE_EQ(empty.confidence(), 0.0);
+}
+
+TEST(CrowdSimulatorTest, PerfectWorkersAlwaysCorrect) {
+  CrowdSimulator sim({1.0, 1.0}, WorkerModel::kExactAccuracy, 5, 42);
+  for (int i = 0; i < 50; ++i) {
+    VoteResult yes = sim.Ask(true, 0.0);
+    EXPECT_EQ(yes.yes_votes, 5);
+    VoteResult no = sim.Ask(false, 0.0);
+    EXPECT_EQ(no.yes_votes, 0);
+  }
+}
+
+TEST(CrowdSimulatorTest, DeterministicInSeed) {
+  CrowdSimulator a({0.7, 0.8}, WorkerModel::kExactAccuracy, 5, 99);
+  CrowdSimulator b({0.7, 0.8}, WorkerModel::kExactAccuracy, 5, 99);
+  for (int i = 0; i < 100; ++i) {
+    bool truth = (i % 3) != 0;
+    EXPECT_EQ(a.Ask(truth, 0.2).yes_votes, b.Ask(truth, 0.2).yes_votes);
+  }
+}
+
+TEST(CrowdSimulatorTest, AccuracyBandCalibration) {
+  // With accuracy in [0.7, 0.8] the per-worker correctness rate must land
+  // near 0.75 under the exact model.
+  CrowdSimulator sim({0.7, 0.8}, WorkerModel::kExactAccuracy, 1, 7);
+  int correct = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    bool truth = i % 2 == 0;
+    VoteResult v = sim.Ask(truth, 0.0);
+    if ((v.yes_votes == 1) == truth) ++correct;
+  }
+  EXPECT_NEAR(correct / static_cast<double>(kTrials), 0.75, 0.02);
+}
+
+TEST(CrowdSimulatorTest, DifficultyDegradesTaskModelOnly) {
+  const int kTrials = 8000;
+  auto accuracy_at = [&](WorkerModel model, double difficulty) {
+    CrowdSimulator sim({0.9, 0.9}, model, 1, 11);
+    int correct = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      bool truth = i % 2 == 0;
+      if ((sim.Ask(truth, difficulty).yes_votes == 1) == truth) ++correct;
+    }
+    return correct / static_cast<double>(kTrials);
+  };
+  // Task-difficulty model: trivial -> ~1.0 regardless of the band,
+  // impossible -> 0.5; in between, gamma = 1 + 4*(1 - 0.9) = 1.4 gives
+  // 0.5 + 0.5 * 0.5^1.4 ~= 0.689 at difficulty 0.5.
+  EXPECT_NEAR(accuracy_at(WorkerModel::kTaskDifficulty, 0.0), 1.0, 0.01);
+  EXPECT_NEAR(accuracy_at(WorkerModel::kTaskDifficulty, 1.0), 0.5, 0.02);
+  EXPECT_NEAR(accuracy_at(WorkerModel::kTaskDifficulty, 0.5), 0.689, 0.02);
+  // Exact model ignores difficulty.
+  EXPECT_NEAR(accuracy_at(WorkerModel::kExactAccuracy, 1.0), 0.9, 0.02);
+}
+
+TEST(CrowdOracleTest, TruthComesFromEntityIds) {
+  Table t = PaperExampleTable();
+  CrowdOracle oracle(&t, Band90(), WorkerModel::kExactAccuracy, 5, 1);
+  EXPECT_TRUE(oracle.Truth(0, 1));   // r1, r2 same entity
+  EXPECT_TRUE(oracle.Truth(3, 6));   // r4, r7 same entity
+  EXPECT_FALSE(oracle.Truth(0, 3));  // different entities
+  EXPECT_FALSE(oracle.Truth(7, 8));
+}
+
+TEST(CrowdOracleTest, AnswersAreOrderIndependent) {
+  Table t = PaperExampleTable();
+  CrowdOracle a(&t, Band70(), WorkerModel::kExactAccuracy, 5, 31);
+  CrowdOracle b(&t, Band70(), WorkerModel::kExactAccuracy, 5, 31);
+  // Ask in different orders; per-pair answers must be identical (the
+  // paper's replay protocol).
+  std::vector<std::pair<int, int>> pairs = {{0, 1}, {2, 3}, {4, 5}, {0, 2}};
+  std::vector<int> forward;
+  for (const auto& [i, j] : pairs) forward.push_back(a.Ask(i, j).yes_votes);
+  std::vector<int> backward(pairs.size());
+  for (size_t k = pairs.size(); k-- > 0;) {
+    backward[k] = b.Ask(pairs[k].first, pairs[k].second).yes_votes;
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(CrowdOracleTest, MemoizesAnswers) {
+  Table t = PaperExampleTable();
+  CrowdOracle oracle(&t, Band70(), WorkerModel::kExactAccuracy, 5, 5);
+  const VoteResult& first = oracle.Ask(0, 1);
+  int votes = first.yes_votes;
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(oracle.Ask(0, 1).yes_votes, votes);
+    EXPECT_EQ(oracle.Ask(1, 0).yes_votes, votes);  // normalized pair
+  }
+  EXPECT_EQ(oracle.num_distinct_pairs_asked(), 1u);
+}
+
+TEST(CrowdOracleTest, DifficultyReflectsAmbiguity) {
+  Table t = PaperExampleTable();
+  CrowdOracle oracle(&t, Band90(), WorkerModel::kTaskDifficulty, 5, 5);
+  // Identical records: similarity 1 -> difficulty 0 (easy).
+  EXPECT_NEAR(oracle.Difficulty(3, 3), 0.0, 1e-9);
+  // r1 vs r11 (totally different): low similarity -> easy NO.
+  EXPECT_LT(oracle.Difficulty(0, 10), 0.4);
+}
+
+TEST(CostModelTest, PaperPricing) {
+  CostModel cost;  // 10 pairs/HIT, $0.10/HIT, 5 workers
+  EXPECT_EQ(cost.Hits(0), 0u);
+  EXPECT_EQ(cost.Hits(1), 1u);
+  EXPECT_EQ(cost.Hits(10), 1u);
+  EXPECT_EQ(cost.Hits(11), 2u);
+  EXPECT_DOUBLE_EQ(cost.Dollars(10), 0.5);   // 1 HIT x $0.10 x 5 workers
+  EXPECT_DOUBLE_EQ(cost.Dollars(100), 5.0);  // 10 HITs
+}
+
+TEST(WorkerBandTest, PresetsMatchPaper) {
+  EXPECT_DOUBLE_EQ(Band70().accuracy_lo, 0.70);
+  EXPECT_DOUBLE_EQ(Band70().accuracy_hi, 0.80);
+  EXPECT_DOUBLE_EQ(Band80().accuracy_lo, 0.80);
+  EXPECT_DOUBLE_EQ(Band90().accuracy_hi, 1.00);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace power {
+namespace {
+
+TEST(CsvTest, ParsesSimpleRows) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(Csv::Parse("a,b,c\nd,e,f\n", &rows));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"d", "e", "f"}));
+}
+
+TEST(CsvTest, ParsesWithoutTrailingNewline) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(Csv::Parse("a,b", &rows));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, ParsesQuotedFields) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(Csv::Parse("\"a,b\",c\n", &rows));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvTest, ParsesEscapedQuotes) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(Csv::Parse("\"say \"\"hi\"\"\",x\n", &rows));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvTest, ParsesNewlineInsideQuotes) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(Csv::Parse("\"line1\nline2\",x\n", &rows));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ToleratesCrLf) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(Csv::Parse("a,b\r\nc,d\r\n", &rows));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, EmptyFieldsSurvive) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(Csv::Parse(",a,\n", &rows));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(CsvTest, ReportsUnterminatedQuote) {
+  std::vector<std::vector<std::string>> rows;
+  EXPECT_FALSE(Csv::Parse("\"oops,a\n", &rows));
+}
+
+TEST(CsvTest, EscapeFieldQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(Csv::EscapeField("plain"), "plain");
+  EXPECT_EQ(Csv::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(Csv::EscapeField("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(Csv::EscapeField("nl\n"), "\"nl\n\"");
+}
+
+TEST(CsvTest, SerializeParseRoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b,with,commas", "c\"quoted\""},
+      {"", "multi\nline", "z"},
+  };
+  std::vector<std::vector<std::string>> reparsed;
+  ASSERT_TRUE(Csv::Parse(Csv::Serialize(rows), &reparsed));
+  EXPECT_EQ(reparsed, rows);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,119 @@
+// Failure injection: adversarial and degenerate crowds must never break
+// termination or invariants — quality may collapse, the process may not.
+#include <gtest/gtest.h>
+
+#include "core/power.h"
+#include "crowd/answer_cache.h"
+#include "data/paper_example.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+namespace power {
+namespace {
+
+// Accuracy-0 workers always lie: every answer is the negation of the truth.
+TEST(FailureInjectionTest, AlwaysLyingCrowdStillTerminates) {
+  Table table = PaperExampleTable();
+  CrowdOracle oracle(&table, {0.0, 0.0}, WorkerModel::kExactAccuracy, 5, 1);
+  for (SelectorKind kind :
+       {SelectorKind::kRandom, SelectorKind::kSinglePath,
+        SelectorKind::kMultiPath, SelectorKind::kTopoSort}) {
+    CrowdOracle fresh(&table, {0.0, 0.0}, WorkerModel::kExactAccuracy, 5, 1);
+    PowerConfig config;
+    config.selector = kind;
+    PowerResult r =
+        PowerFramework(config).RunOnPairs(PaperExamplePairs(), &fresh);
+    EXPECT_GT(r.questions, 0u) << SelectorKindName(kind);
+    EXPECT_LE(r.questions, 18u);
+    // Quality is inverted garbage, but the output is well-formed.
+    auto prf = ComputePrf(r.matched_pairs, TrueMatchPairs(table));
+    EXPECT_LE(prf.f1, 1.0);
+  }
+}
+
+TEST(FailureInjectionTest, CoinFlipCrowdTerminatesUnderConflicts) {
+  // 50% workers produce contradictory deductions (conflict ties re-open
+  // vertices); the loop must still terminate because asked vertices never
+  // reopen.
+  Table table = PaperExampleTable();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CrowdOracle oracle(&table, {0.5, 0.5}, WorkerModel::kExactAccuracy, 5,
+                       seed);
+    PowerConfig config;
+    config.selector = SelectorKind::kMultiPath;  // most conflict-prone
+    PowerResult r =
+        PowerFramework(config).RunOnPairs(PaperExamplePairs(), &oracle);
+    EXPECT_LE(r.questions, 18u) << "seed=" << seed;
+  }
+}
+
+TEST(FailureInjectionTest, PowerPlusWithEverythingBlue) {
+  // Confidence threshold above 1.0 forces every vertex BLUE: the histogram
+  // pass alone must settle all pairs (from the similarity prior).
+  Table table = PaperExampleTable();
+  CrowdOracle oracle(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5, 1);
+  PowerConfig config;
+  config.error_tolerant = true;
+  config.confidence_threshold = 1.1;
+  PowerResult r =
+      PowerFramework(config).RunOnPairs(PaperExamplePairs(), &oracle);
+  EXPECT_EQ(r.num_blue_groups, r.num_groups);
+  // Every group was asked exactly once (no propagation possible).
+  EXPECT_EQ(r.questions, r.num_groups);
+  // Histogram fallback with zero labeled evidence uses the Pr(s)=s prior:
+  // high-similarity pairs are matched.
+  EXPECT_FALSE(r.matched_pairs.empty());
+}
+
+TEST(FailureInjectionTest, SingleWorkerCrowd) {
+  Table table = PaperExampleTable();
+  CrowdOracle oracle(&table, Band90(), WorkerModel::kExactAccuracy,
+                     /*workers_per_question=*/1, 4);
+  PowerConfig config;
+  PowerResult r =
+      PowerFramework(config).RunOnPairs(PaperExamplePairs(), &oracle);
+  EXPECT_GT(r.questions, 0u);
+}
+
+TEST(FailureInjectionTest, SinglePairUniverse) {
+  Table table = PaperExampleTable();
+  CrowdOracle oracle(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5, 1);
+  std::vector<SimilarPair> one = {PaperExamplePairs()[0]};
+  PowerConfig config;
+  PowerResult r = PowerFramework(config).RunOnPairs(one, &oracle);
+  EXPECT_EQ(r.questions, 1u);
+  EXPECT_EQ(r.num_groups, 1u);
+  EXPECT_EQ(r.matched_pairs.size(), 1u);  // p12 is a true match
+}
+
+TEST(FailureInjectionTest, AllIdenticalSimilarityVectors) {
+  // Degenerate graph: every pair has the same vector -> one group, one
+  // question decides everything.
+  Table table = PaperExampleTable();
+  CrowdOracle oracle(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5, 1);
+  std::vector<SimilarPair> pairs = PaperExamplePairs();
+  for (auto& p : pairs) p.sims = {0.5, 0.5, 0.5, 0.5};
+  PowerConfig config;
+  PowerResult r = PowerFramework(config).RunOnPairs(pairs, &oracle);
+  EXPECT_EQ(r.num_groups, 1u);
+  EXPECT_EQ(r.questions, 1u);
+}
+
+TEST(FailureInjectionTest, ExtremeEpsilonValues) {
+  Table table = PaperExampleTable();
+  for (double eps : {0.0, 1.0}) {
+    CrowdOracle oracle(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5,
+                       1);
+    PowerConfig config;
+    config.epsilon = eps;
+    PowerResult r =
+        PowerFramework(config).RunOnPairs(PaperExamplePairs(), &oracle);
+    EXPECT_GT(r.questions, 0u) << "eps=" << eps;
+    if (eps == 1.0) {
+      EXPECT_EQ(r.num_groups, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace power

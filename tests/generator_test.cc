@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "sim/similarity_matrix.h"
+
+namespace power {
+namespace {
+
+TEST(ProfileTest, RestaurantMatchesTable3) {
+  DatasetProfile p = RestaurantProfile();
+  EXPECT_EQ(p.num_records, 858u);
+  EXPECT_EQ(p.num_entities, 752u);
+  EXPECT_EQ(p.attributes.size(), 4u);
+}
+
+TEST(ProfileTest, CoraMatchesTable3) {
+  DatasetProfile p = CoraProfile();
+  EXPECT_EQ(p.num_records, 997u);
+  EXPECT_EQ(p.num_entities, 191u);
+  EXPECT_EQ(p.attributes.size(), 8u);
+}
+
+TEST(ProfileTest, AcmPubMatchesTable3AndScales) {
+  DatasetProfile full = AcmPubProfile(1.0);
+  EXPECT_EQ(full.num_records, 66879u);
+  EXPECT_EQ(full.num_entities, 5347u);
+  EXPECT_EQ(full.attributes.size(), 4u);
+  DatasetProfile tenth = AcmPubProfile(0.1);
+  EXPECT_NEAR(static_cast<double>(tenth.num_records), 6688.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(tenth.num_entities), 535.0, 1.0);
+}
+
+TEST(GeneratorTest, ProducesRequestedCounts) {
+  DatasetProfile p = RestaurantProfile();
+  p.num_records = 120;
+  p.num_entities = 100;
+  Table t = DatasetGenerator(1).Generate(p);
+  EXPECT_EQ(t.num_records(), 120u);
+  EXPECT_EQ(t.CountEntities(), 100u);
+  EXPECT_EQ(t.schema().num_attributes(), 4u);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  DatasetProfile p = RestaurantProfile();
+  p.num_records = 60;
+  p.num_entities = 40;
+  Table a = DatasetGenerator(9).Generate(p);
+  Table b = DatasetGenerator(9).Generate(p);
+  ASSERT_EQ(a.num_records(), b.num_records());
+  for (size_t i = 0; i < a.num_records(); ++i) {
+    EXPECT_EQ(a.record(i).entity_id, b.record(i).entity_id);
+    EXPECT_EQ(a.record(i).values, b.record(i).values);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentTables) {
+  DatasetProfile p = RestaurantProfile();
+  p.num_records = 60;
+  p.num_entities = 40;
+  Table a = DatasetGenerator(1).Generate(p);
+  Table b = DatasetGenerator(2).Generate(p);
+  bool differ = false;
+  for (size_t i = 0; i < a.num_records() && !differ; ++i) {
+    if (a.record(i).values != b.record(i).values) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorTest, EmptyValuesOnlyWhereProfileAllows) {
+  DatasetProfile p = CoraProfile();
+  p.num_records = 150;
+  p.num_entities = 30;
+  Table t = DatasetGenerator(3).Generate(p);
+  size_t empty_optional = 0;
+  for (const auto& r : t.records()) {
+    for (size_t k = 0; k < p.attributes.size(); ++k) {
+      if (p.attributes[k].empty_prob > 0.0) {
+        if (r.values[k].empty()) ++empty_optional;
+      } else {
+        EXPECT_FALSE(r.values[k].empty())
+            << "attribute " << p.attributes[k].name;
+      }
+    }
+  }
+  // Cora's editor/pages attributes are blank for a real fraction of
+  // records, as in the original dataset.
+  EXPECT_GT(empty_optional, 0u);
+}
+
+// The generator must be calibrated: duplicate pairs must look much more
+// similar than random cross-entity pairs, otherwise no ER signal exists.
+TEST(GeneratorTest, DuplicatesAreMoreSimilarThanNonDuplicates) {
+  DatasetProfile p = RestaurantProfile();
+  p.num_records = 200;
+  p.num_entities = 100;
+  Table t = DatasetGenerator(5).Generate(p);
+
+  double dup_sum = 0.0;
+  int dup_count = 0;
+  double non_sum = 0.0;
+  int non_count = 0;
+  for (size_t i = 0; i < t.num_records(); ++i) {
+    for (size_t j = i + 1; j < t.num_records() && non_count < 4000; ++j) {
+      double s = RecordLevelJaccard(t, static_cast<int>(i),
+                                    static_cast<int>(j));
+      if (t.record(i).entity_id == t.record(j).entity_id) {
+        dup_sum += s;
+        ++dup_count;
+      } else {
+        non_sum += s;
+        ++non_count;
+      }
+    }
+  }
+  ASSERT_GT(dup_count, 0);
+  ASSERT_GT(non_count, 0);
+  double dup_avg = dup_sum / dup_count;
+  double non_avg = non_sum / non_count;
+  EXPECT_GT(dup_avg, 0.5);
+  EXPECT_LT(non_avg, 0.3);
+  EXPECT_GT(dup_avg, non_avg + 0.3);
+}
+
+TEST(GeneratorTest, CoraProfileHasLargeClusters) {
+  Table t = DatasetGenerator(8).Generate(CoraProfile());
+  // 997 records over 191 entities: at least one cluster must be big.
+  std::unordered_map<int, int> sizes;
+  for (const auto& r : t.records()) ++sizes[r.entity_id];
+  int max_size = 0;
+  for (const auto& [e, s] : sizes) max_size = std::max(max_size, s);
+  EXPECT_GE(max_size, 10);
+}
+
+TEST(GeneratorTest, DirtinessIncreasesPerturbation) {
+  DatasetProfile clean = RestaurantProfile();
+  clean.num_records = 300;
+  clean.num_entities = 150;
+  clean.dirtiness = 0.05;
+  DatasetProfile dirty = clean;
+  dirty.dirtiness = 0.7;
+
+  auto avg_dup_sim = [](const Table& t) {
+    double sum = 0.0;
+    int count = 0;
+    for (size_t i = 0; i < t.num_records(); ++i) {
+      for (size_t j = i + 1; j < t.num_records(); ++j) {
+        if (t.record(i).entity_id == t.record(j).entity_id) {
+          sum += RecordLevelJaccard(t, static_cast<int>(i),
+                                    static_cast<int>(j));
+          ++count;
+        }
+      }
+    }
+    return count > 0 ? sum / count : 0.0;
+  };
+  Table tc = DatasetGenerator(4).Generate(clean);
+  Table td = DatasetGenerator(4).Generate(dirty);
+  EXPECT_GT(avg_dup_sim(tc), avg_dup_sim(td) + 0.1);
+}
+
+}  // namespace
+}  // namespace power

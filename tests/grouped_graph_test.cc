@@ -1,0 +1,95 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_example.h"
+#include "graph/builder.h"
+#include "group/grouped_graph.h"
+#include "group/split_grouper.h"
+#include "order/partial_order.h"
+
+namespace power {
+namespace {
+
+std::vector<std::vector<double>> PaperSims() {
+  std::vector<std::vector<double>> sims;
+  for (const auto& p : PaperExamplePairs()) sims.push_back(p.sims);
+  return sims;
+}
+
+TEST(GroupedGraphTest, SingletonGroupsRecoverBaseGraph) {
+  auto sims = PaperSims();
+  GroupedGraph gg = BuildUngrouped(BruteForceBuilder(), sims);
+  ASSERT_EQ(gg.groups.size(), sims.size());
+  for (size_t v = 0; v < sims.size(); ++v) {
+    EXPECT_EQ(gg.groups[v].members, (std::vector<int>{static_cast<int>(v)}));
+  }
+  PairGraph direct = BruteForceBuilder().Build(sims);
+  EXPECT_EQ(gg.graph.num_edges(), direct.num_edges());
+}
+
+TEST(GroupedGraphTest, GroupEdgesFollowIntervalDominance) {
+  auto sims = PaperSims();
+  auto groups = SplitGrouper().Group(sims, 0.1);
+  GroupedGraph gg = BuildGroupedGraph(groups);
+  ASSERT_EQ(gg.groups.size(), groups.size());
+  for (size_t a = 0; a < groups.size(); ++a) {
+    std::set<int> children(gg.graph.children(static_cast<int>(a)).begin(),
+                           gg.graph.children(static_cast<int>(a)).end());
+    for (size_t b = 0; b < groups.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(children.count(static_cast<int>(b)) > 0,
+                GroupStrictlyDominates(groups[a].lower, groups[b].upper));
+    }
+  }
+}
+
+TEST(GroupedGraphTest, GroupDominanceImpliesAllMemberPairsDominate) {
+  auto sims = PaperSims();
+  auto groups = SplitGrouper().Group(sims, 0.1);
+  GroupedGraph gg = BuildGroupedGraph(groups);
+  for (size_t a = 0; a < gg.groups.size(); ++a) {
+    for (int b : gg.graph.children(static_cast<int>(a))) {
+      for (int va : gg.groups[a].members) {
+        for (int vb : gg.groups[b].members) {
+          EXPECT_TRUE(StrictlyDominates(sims[va], sims[vb]))
+              << "group " << a << " member " << va << " vs group " << b
+              << " member " << vb;
+        }
+      }
+    }
+  }
+}
+
+TEST(GroupedGraphTest, GraphIsAcyclicAndTransitivelyClosed) {
+  auto sims = PaperSims();
+  GroupedGraph gg = BuildGroupedGraph(SplitGrouper().Group(sims, 0.1));
+  EXPECT_TRUE(gg.graph.IsAcyclic());
+  // Closure: child-of-child is a direct child.
+  for (size_t a = 0; a < gg.groups.size(); ++a) {
+    std::set<int> direct(gg.graph.children(static_cast<int>(a)).begin(),
+                         gg.graph.children(static_cast<int>(a)).end());
+    for (int b : direct) {
+      for (int c : gg.graph.children(b)) {
+        EXPECT_TRUE(direct.count(c)) << a << "->" << b << "->" << c;
+      }
+    }
+  }
+}
+
+TEST(GroupedGraphTest, GroupingShrinksGraph) {
+  auto sims = PaperSims();
+  GroupedGraph ungrouped = BuildUngrouped(BruteForceBuilder(), sims);
+  GroupedGraph grouped = BuildGroupedGraph(SplitGrouper().Group(sims, 0.1));
+  EXPECT_LT(grouped.groups.size(), ungrouped.groups.size());
+  EXPECT_EQ(grouped.groups.size(), 9u);
+}
+
+TEST(GroupedGraphTest, EmptyGroups) {
+  GroupedGraph gg = BuildGroupedGraph({});
+  EXPECT_EQ(gg.graph.num_vertices(), 0u);
+  EXPECT_EQ(gg.groups.size(), 0u);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_example.h"
+#include "group/greedy_grouper.h"
+#include "group/split_grouper.h"
+#include "util/rng.h"
+
+namespace power {
+namespace {
+
+std::vector<std::vector<double>> PaperSims() {
+  std::vector<std::vector<double>> sims;
+  for (const auto& p : PaperExamplePairs()) sims.push_back(p.sims);
+  return sims;
+}
+
+std::set<std::set<int>> AsSets(const std::vector<VertexGroup>& groups) {
+  std::set<std::set<int>> out;
+  for (const auto& g : groups) {
+    out.insert(std::set<int>(g.members.begin(), g.members.end()));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> RandomSims(uint64_t seed, size_t n,
+                                            size_t m) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> sims(n, std::vector<double>(m));
+  for (auto& v : sims) {
+    for (auto& x : v) x = rng.UniformDouble(0.0, 1.0);
+  }
+  return sims;
+}
+
+TEST(GroupTest, MakeGroupComputesBounds) {
+  std::vector<std::vector<double>> sims = {{0.1, 0.9}, {0.3, 0.8}};
+  VertexGroup g = MakeGroup(sims, {1, 0});
+  EXPECT_EQ(g.members, (std::vector<int>{0, 1}));
+  EXPECT_EQ(g.lower, (std::vector<double>{0.1, 0.8}));
+  EXPECT_EQ(g.upper, (std::vector<double>{0.3, 0.9}));
+}
+
+TEST(GroupTest, IsValidGroupRespectsEpsilon) {
+  std::vector<std::vector<double>> sims = {{0.1, 0.9}, {0.3, 0.8}};
+  EXPECT_TRUE(IsValidGroup(sims, {0, 1}, 0.2));
+  EXPECT_FALSE(IsValidGroup(sims, {0, 1}, 0.1));
+  EXPECT_TRUE(IsValidGroup(sims, {0}, 0.0));
+  EXPECT_FALSE(IsValidGroup(sims, {}, 1.0));
+}
+
+TEST(GroupTest, IsPartition) {
+  std::vector<std::vector<double>> sims = {{0.0}, {0.5}, {1.0}};
+  auto singletons = SingletonGroups(sims);
+  EXPECT_TRUE(IsPartition(singletons, 3));
+  // Overlapping groups are not a partition.
+  std::vector<VertexGroup> overlap = {MakeGroup(sims, {0, 1}),
+                                      MakeGroup(sims, {1, 2})};
+  EXPECT_FALSE(IsPartition(overlap, 3));
+  // Missing vertex 2.
+  std::vector<VertexGroup> incomplete = {MakeGroup(sims, {0, 1})};
+  EXPECT_FALSE(IsPartition(incomplete, 3));
+}
+
+TEST(SplitGrouperTest, PaperExampleYieldsNineGroups) {
+  auto sims = PaperSims();
+  auto groups = SplitGrouper().Group(sims, 0.1);
+  // The paper's Figure 3/4 walkthrough produces 9 groups at ε = 0.1.
+  EXPECT_EQ(groups.size(), 9u);
+  EXPECT_TRUE(IsPartition(groups, sims.size()));
+  for (const auto& g : groups) {
+    EXPECT_TRUE(IsValidGroup(sims, g.members, 0.1));
+  }
+  auto sets = AsSets(groups);
+  auto idx = [](int a, int b) { return PaperExamplePairIndex(a, b); };
+  // Stable memberships shared with the paper's walkthrough.
+  EXPECT_TRUE(sets.count({idx(4, 5), idx(6, 7)}));            // {p45, p67}
+  EXPECT_TRUE(sets.count({idx(2, 4), idx(2, 5)}));            // {p24, p25}
+  EXPECT_TRUE(sets.count({idx(3, 7)}));                       // {p37}
+  EXPECT_TRUE(sets.count({idx(1, 2)}));                       // {p12}
+  EXPECT_TRUE(sets.count({idx(1, 3)}));                       // {p13}
+  EXPECT_TRUE(sets.count({idx(2, 3)}));                       // {p23}
+  EXPECT_TRUE(
+      sets.count({idx(4, 6), idx(4, 7), idx(5, 6), idx(5, 7)}));
+}
+
+TEST(GreedyGrouperTest, PaperExampleValidAndSmall) {
+  auto sims = PaperSims();
+  auto groups = GreedyGrouper().Group(sims, 0.1);
+  EXPECT_TRUE(IsPartition(groups, sims.size()));
+  for (const auto& g : groups) {
+    EXPECT_TRUE(IsValidGroup(sims, g.members, 0.1));
+  }
+  // The paper's greedy walkthrough ends with 10 groups; allow the exact
+  // count to vary with tie-breaking but stay in a tight range.
+  EXPECT_GE(groups.size(), 8u);
+  EXPECT_LE(groups.size(), 11u);
+  auto sets = AsSets(groups);
+  auto idx = [](int a, int b) { return PaperExamplePairIndex(a, b); };
+  // A size-4 maximal group is picked first (the paper's walkthrough picks
+  // {p27, p26, p34, p35}; ties may select one of its size-4 peers).
+  size_t max_size = 0;
+  for (const auto& s : sets) max_size = std::max(max_size, s.size());
+  EXPECT_EQ(max_size, 4u);
+  EXPECT_TRUE(sets.count({idx(4, 5), idx(6, 7)}));
+}
+
+TEST(SplitGrouperTest, EpsilonZeroGroupsOnlyIdenticalVectors) {
+  std::vector<std::vector<double>> sims = {{0.5, 0.5}, {0.5, 0.5},
+                                           {0.5, 0.6}};
+  auto groups = SplitGrouper().Group(sims, 0.0);
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_TRUE(IsPartition(groups, 3));
+}
+
+TEST(SplitGrouperTest, LargeEpsilonYieldsOneGroup) {
+  auto sims = PaperSims();
+  auto groups = SplitGrouper().Group(sims, 1.0);
+  EXPECT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members.size(), sims.size());
+}
+
+TEST(GrouperTest, EmptyInput) {
+  std::vector<std::vector<double>> empty;
+  EXPECT_TRUE(SplitGrouper().Group(empty, 0.1).empty());
+  EXPECT_TRUE(GreedyGrouper().Group(empty, 0.1).empty());
+}
+
+struct GroupCase {
+  size_t n;
+  size_t m;
+  double epsilon;
+  uint64_t seed;
+};
+
+class GrouperProperty : public ::testing::TestWithParam<GroupCase> {};
+
+TEST_P(GrouperProperty, BothGroupersProduceValidPartitions) {
+  const GroupCase& c = GetParam();
+  auto sims = RandomSims(c.seed, c.n, c.m);
+  for (const Grouper* grouper :
+       {static_cast<const Grouper*>(new SplitGrouper()),
+        static_cast<const Grouper*>(new GreedyGrouper())}) {
+    auto groups = grouper->Group(sims, c.epsilon);
+    EXPECT_TRUE(IsPartition(groups, c.n)) << grouper->name();
+    for (const auto& g : groups) {
+      EXPECT_TRUE(IsValidGroup(sims, g.members, c.epsilon))
+          << grouper->name();
+      // Bounds are consistent with members.
+      VertexGroup recomputed = MakeGroup(sims, g.members);
+      EXPECT_EQ(g.lower, recomputed.lower);
+      EXPECT_EQ(g.upper, recomputed.upper);
+    }
+    delete grouper;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GrouperProperty,
+    ::testing::Values(GroupCase{1, 1, 0.1, 1}, GroupCase{20, 2, 0.1, 2},
+                      GroupCase{60, 2, 0.05, 3}, GroupCase{60, 3, 0.2, 4},
+                      GroupCase{100, 4, 0.1, 5}, GroupCase{40, 2, 0.5, 6},
+                      GroupCase{80, 3, 0.01, 7}));
+
+TEST(GrouperComparison, GreedyNeverWorseThanSplitByMuch) {
+  // The paper: Split generates somewhat more groups than Greedy.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    auto sims = RandomSims(seed, 120, 2);
+    auto split = SplitGrouper().Group(sims, 0.15);
+    auto greedy = GreedyGrouper().Group(sims, 0.15);
+    EXPECT_LE(greedy.size(), split.size() + 2) << "seed=" << seed;
+  }
+}
+
+TEST(SplitGrouperTest, LargerEpsilonFewerGroups) {
+  auto sims = RandomSims(21, 200, 3);
+  size_t prev = sims.size() + 1;
+  for (double eps : {0.05, 0.1, 0.2, 0.4}) {
+    auto groups = SplitGrouper().Group(sims, eps);
+    EXPECT_LE(groups.size(), prev);
+    prev = groups.size();
+  }
+}
+
+}  // namespace
+}  // namespace power

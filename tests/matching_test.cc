@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "select/matching.h"
+#include "util/rng.h"
+
+namespace power {
+namespace {
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  HopcroftKarp hk(3, 3);
+  EXPECT_EQ(hk.Solve(), 0);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(hk.match_left()[v], -1);
+    EXPECT_EQ(hk.match_right()[v], -1);
+  }
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingOnIdentity) {
+  HopcroftKarp hk(4, 4);
+  for (int v = 0; v < 4; ++v) hk.AddEdge(v, v);
+  EXPECT_EQ(hk.Solve(), 4);
+  for (int v = 0; v < 4; ++v) EXPECT_EQ(hk.match_left()[v], v);
+}
+
+TEST(HopcroftKarpTest, AugmentingPathNeeded) {
+  // L0-{R0,R1}, L1-{R0}: greedy might match L0-R0 and strand L1; maximum
+  // matching is 2 via augmentation.
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 0);
+  EXPECT_EQ(hk.Solve(), 2);
+}
+
+TEST(HopcroftKarpTest, StarGraphMatchesOne) {
+  HopcroftKarp hk(4, 1);
+  for (int l = 0; l < 4; ++l) hk.AddEdge(l, 0);
+  EXPECT_EQ(hk.Solve(), 1);
+}
+
+TEST(HopcroftKarpTest, MatchingIsConsistent) {
+  HopcroftKarp hk(5, 5);
+  Rng rng(71);
+  for (int l = 0; l < 5; ++l) {
+    for (int r = 0; r < 5; ++r) {
+      if (rng.Bernoulli(0.5)) hk.AddEdge(l, r);
+    }
+  }
+  int size = hk.Solve();
+  int left_matched = 0;
+  for (int l = 0; l < 5; ++l) {
+    if (hk.match_left()[l] != -1) {
+      ++left_matched;
+      EXPECT_EQ(hk.match_right()[hk.match_left()[l]], l);
+    }
+  }
+  EXPECT_EQ(left_matched, size);
+}
+
+// Brute-force maximum matching for cross-checking (n <= ~10).
+int BruteForceMatching(int n_left, int n_right,
+                       const std::vector<std::pair<int, int>>& edges) {
+  int best = 0;
+  size_t e = edges.size();
+  for (size_t mask = 0; mask < (1ULL << e); ++mask) {
+    std::vector<bool> used_l(n_left, false), used_r(n_right, false);
+    int count = 0;
+    bool valid = true;
+    for (size_t i = 0; i < e && valid; ++i) {
+      if (!(mask & (1ULL << i))) continue;
+      auto [l, r] = edges[i];
+      if (used_l[l] || used_r[r]) {
+        valid = false;
+      } else {
+        used_l[l] = used_r[r] = true;
+        ++count;
+      }
+    }
+    if (valid) best = std::max(best, count);
+  }
+  return best;
+}
+
+TEST(HopcroftKarpProperty, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(73);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = 2 + static_cast<int>(rng.UniformIndex(4));
+    std::vector<std::pair<int, int>> edges;
+    HopcroftKarp hk(n, n);
+    for (int l = 0; l < n; ++l) {
+      for (int r = 0; r < n; ++r) {
+        if (rng.Bernoulli(0.35) && edges.size() < 14) {
+          edges.push_back({l, r});
+          hk.AddEdge(l, r);
+        }
+      }
+    }
+    EXPECT_EQ(hk.Solve(), BruteForceMatching(n, n, edges));
+  }
+}
+
+TEST(HopcroftKarpTest, SolveIsIdempotent) {
+  HopcroftKarp hk(3, 3);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 1);
+  hk.AddEdge(2, 2);
+  int first = hk.Solve();
+  EXPECT_EQ(hk.Solve(), first);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/pair_graph.h"
+
+namespace power {
+namespace {
+
+// A small diamond: 0 -> {1, 2} -> 3, plus closure edge 0 -> 3.
+PairGraph Diamond() {
+  PairGraph g(std::vector<std::vector<double>>(4, {0.0}));
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AddEdge(0, 3);
+  g.DedupEdges();
+  return g;
+}
+
+TEST(PairGraphTest, EdgeAccounting) {
+  PairGraph g = Diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.children(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(g.parents(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(g.parents(0).empty());
+  EXPECT_TRUE(g.children(3).empty());
+}
+
+TEST(PairGraphTest, DedupRemovesDuplicates) {
+  PairGraph g(std::vector<std::vector<double>>(2, {0.0}));
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 2u);
+  g.DedupEdges();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.children(0), (std::vector<int>{1}));
+}
+
+TEST(PairGraphTest, DescendantsAndAncestors) {
+  PairGraph g = Diamond();
+  EXPECT_EQ(g.Descendants(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(g.Descendants(1), (std::vector<int>{3}));
+  EXPECT_TRUE(g.Descendants(3).empty());
+  EXPECT_EQ(g.Ancestors(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.Ancestors(1), (std::vector<int>{0}));
+  EXPECT_TRUE(g.Ancestors(0).empty());
+}
+
+TEST(PairGraphTest, DescendantsFollowTransitiveChains) {
+  PairGraph g(std::vector<std::vector<double>>(4, {0.0}));
+  // Chain with only Hasse edges (no closure): reachability must still work.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.Descendants(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(g.Ancestors(3), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PairGraphTest, TopologicalLevelsDiamond) {
+  PairGraph g = Diamond();
+  auto levels = g.TopologicalLevels(std::vector<bool>(4, true));
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], (std::vector<int>{0}));
+  EXPECT_EQ(levels[1], (std::vector<int>{1, 2}));
+  EXPECT_EQ(levels[2], (std::vector<int>{3}));
+}
+
+TEST(PairGraphTest, TopologicalLevelsRespectActiveMask) {
+  PairGraph g = Diamond();
+  std::vector<bool> active = {false, true, true, true};
+  auto levels = g.TopologicalLevels(active);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(levels[1], (std::vector<int>{3}));
+}
+
+TEST(PairGraphTest, TopologicalLevelsEmptyActiveSet) {
+  PairGraph g = Diamond();
+  EXPECT_TRUE(g.TopologicalLevels(std::vector<bool>(4, false)).empty());
+}
+
+TEST(PairGraphTest, IsAcyclic) {
+  EXPECT_TRUE(Diamond().IsAcyclic());
+  PairGraph cyclic(std::vector<std::vector<double>>(3, {0.0}));
+  cyclic.AddEdge(0, 1);
+  cyclic.AddEdge(1, 2);
+  cyclic.AddEdge(2, 0);
+  EXPECT_FALSE(cyclic.IsAcyclic());
+}
+
+TEST(PairGraphTest, IsolatedVerticesFormOneLevel) {
+  PairGraph g(std::vector<std::vector<double>>(3, {0.0}));
+  auto levels = g.TopologicalLevels(std::vector<bool>(3, true));
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0], (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace power

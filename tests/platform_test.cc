@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/power.h"
+#include "data/paper_example.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "platform/platform.h"
+#include "platform/platform_oracle.h"
+#include "util/rng.h"
+
+namespace power {
+namespace {
+
+PlatformConfig HighQualityConfig() {
+  PlatformConfig config;
+  config.pool_size = 100;
+  config.accuracy_lo = 0.97;
+  config.accuracy_hi = 0.999;
+  config.difficulty_scale = 0.0;  // trivial questions
+  config.seed = 5;
+  return config;
+}
+
+TEST(WorkerPoolTest, SamplesWithinBandAndDistinct) {
+  WorkerPool pool(50, 0.7, 0.9, 3);
+  ASSERT_EQ(pool.size(), 50u);
+  for (int w = 0; w < 50; ++w) {
+    EXPECT_GE(pool.worker(w).true_accuracy, 0.7);
+    EXPECT_LE(pool.worker(w).true_accuracy, 0.9);
+    EXPECT_EQ(pool.worker(w).id, w);
+    EXPECT_DOUBLE_EQ(pool.worker(w).approval_rate(), 1.0);  // no history
+  }
+  Rng rng(1);
+  auto drawn = pool.DrawQualified(5, 0.0, &rng);
+  ASSERT_EQ(drawn.size(), 5u);
+  std::sort(drawn.begin(), drawn.end());
+  EXPECT_TRUE(std::adjacent_find(drawn.begin(), drawn.end()) == drawn.end());
+}
+
+TEST(WorkerPoolTest, QualificationFilterUsesApprovalHistory) {
+  WorkerPool pool(4, 0.8, 0.9, 3);
+  // Worker 0: 1/4 approved; worker 1: 4/4.
+  pool.RecordSubmission(0, true);
+  for (int k = 0; k < 3; ++k) pool.RecordSubmission(0, false);
+  for (int k = 0; k < 4; ++k) pool.RecordSubmission(1, true);
+  Rng rng(2);
+  auto qualified = pool.DrawQualified(10, 0.9, &rng);
+  std::sort(qualified.begin(), qualified.end());
+  // Workers 2, 3 have no history (rate 1.0) and worker 1 qualifies.
+  EXPECT_EQ(qualified, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(PlatformTest, PacksQuestionsIntoHits) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.questions_per_hit = 10;
+  CrowdPlatform platform(&table, config);
+  std::vector<PairQuestion> questions;
+  for (const auto& p : PaperExamplePairs()) questions.push_back({p.i, p.j});
+  ASSERT_EQ(questions.size(), 18u);
+  auto round = platform.PostRound(questions);
+  // 18 questions -> 2 HITs x 5 assignments.
+  EXPECT_EQ(platform.hits_posted(), 2u);
+  EXPECT_EQ(platform.assignments_completed(), 10u);
+  EXPECT_EQ(round.votes.size(), 18u);
+  EXPECT_EQ(round.assignments.size(), 10u);
+  // Paper pricing: 10 assignments x $0.10.
+  EXPECT_DOUBLE_EQ(round.cost_dollars, 1.0);
+  EXPECT_DOUBLE_EQ(platform.total_cost_dollars(), 1.0);
+  EXPECT_GT(round.latency_seconds, 0.0);
+}
+
+TEST(PlatformTest, HighAccuracyPoolAnswersCorrectly) {
+  Table table = PaperExampleTable();
+  CrowdPlatform platform(&table, HighQualityConfig());
+  std::vector<PairQuestion> questions;
+  for (const auto& p : PaperExamplePairs()) questions.push_back({p.i, p.j});
+  auto round = platform.PostRound(questions);
+  auto pairs = PaperExamplePairs();
+  int correct = 0;
+  for (size_t q = 0; q < questions.size(); ++q) {
+    bool truth = table.record(questions[q].i).entity_id ==
+                 table.record(questions[q].j).entity_id;
+    if (round.votes[q].majority_yes() == truth) ++correct;
+    EXPECT_EQ(round.votes[q].total_votes, 5);
+  }
+  EXPECT_GE(correct, 17);  // near-perfect pool on trivial questions
+}
+
+TEST(PlatformTest, EmptyRoundIsFree) {
+  Table table = PaperExampleTable();
+  CrowdPlatform platform(&table, HighQualityConfig());
+  auto round = platform.PostRound({});
+  EXPECT_TRUE(round.votes.empty());
+  EXPECT_DOUBLE_EQ(platform.total_cost_dollars(), 0.0);
+  EXPECT_EQ(platform.rounds_posted(), 0u);
+}
+
+TEST(PlatformTest, ApprovalHistoryAccumulates) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  CrowdPlatform platform(&table, config);
+  std::vector<PairQuestion> questions = {{0, 1}, {0, 3}, {7, 8}};
+  platform.PostRound(questions);
+  size_t with_history = 0;
+  for (size_t w = 0; w < platform.pool().size(); ++w) {
+    if (platform.pool().worker(static_cast<int>(w)).submitted > 0) {
+      ++with_history;
+    }
+  }
+  EXPECT_EQ(with_history, 5u);  // one HIT, five assignments
+}
+
+TEST(PlatformOracleTest, CachesAndReplays) {
+  Table table = PaperExampleTable();
+  CrowdPlatform platform(&table, HighQualityConfig());
+  PlatformOracle oracle(&platform);
+  VoteResult first = oracle.Ask(0, 1);
+  size_t rounds = platform.rounds_posted();
+  VoteResult again = oracle.Ask(0, 1);
+  EXPECT_EQ(first.yes_votes, again.yes_votes);
+  EXPECT_EQ(platform.rounds_posted(), rounds);  // no new round
+  // Batch with one cached + one fresh question: only the fresh one posts.
+  auto votes = oracle.AskBatch({{0, 1}, {2, 3}});
+  EXPECT_EQ(votes[0].yes_votes, first.yes_votes);
+  EXPECT_EQ(platform.rounds_posted(), rounds + 1);
+}
+
+TEST(PlatformOracleTest, PowerRunsEndToEndOnThePlatform) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  CrowdPlatform platform(&table, config);
+  PlatformOracle oracle(&platform);
+  PowerConfig power_config;
+  power_config.prune_tau = 0.2;
+  PowerResult result =
+      PowerFramework(power_config).RunOnPairs(PaperExamplePairs(), &oracle);
+  auto prf = ComputePrf(result.matched_pairs, TrueMatchPairs(table));
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+  // One platform round per framework iteration.
+  EXPECT_EQ(platform.rounds_posted(), result.iterations);
+  EXPECT_GT(platform.total_latency_seconds(), 0.0);
+  EXPECT_GT(platform.total_cost_dollars(), 0.0);
+}
+
+TEST(PlatformTest, LatencyIsMaxOfRound) {
+  Table table = PaperExampleTable();
+  CrowdPlatform platform(&table, HighQualityConfig());
+  auto round = platform.PostRound({{0, 1}});
+  double max_assignment = 0.0;
+  for (const auto& a : round.assignments) {
+    max_assignment = std::max(max_assignment, a.latency_seconds);
+  }
+  EXPECT_DOUBLE_EQ(round.latency_seconds, max_assignment);
+}
+
+}  // namespace
+}  // namespace power

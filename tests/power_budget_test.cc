@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/power.h"
+#include "crowd/answer_cache.h"
+#include "data/generator.h"
+#include "data/paper_example.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+namespace power {
+namespace {
+
+CrowdOracle PerfectOracle(const Table& table) {
+  return CrowdOracle(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5, 1);
+}
+
+TEST(PowerBudgetTest, ZeroMeansUnlimited) {
+  Table table = PaperExampleTable();
+  CrowdOracle oracle = PerfectOracle(table);
+  PowerConfig config;
+  config.max_questions = 0;
+  PowerResult r = PowerFramework(config).RunOnPairs(PaperExamplePairs(),
+                                                    &oracle);
+  EXPECT_FALSE(r.budget_exhausted);
+  EXPECT_GT(r.questions, 0u);
+}
+
+TEST(PowerBudgetTest, CapIsRespected) {
+  Table table = PaperExampleTable();
+  for (size_t budget : {1u, 2u, 3u}) {
+    CrowdOracle oracle = PerfectOracle(table);
+    PowerConfig config;
+    config.max_questions = budget;
+    PowerResult r = PowerFramework(config).RunOnPairs(PaperExamplePairs(),
+                                                      &oracle);
+    EXPECT_LE(r.questions, budget);
+    EXPECT_TRUE(r.budget_exhausted);
+  }
+}
+
+TEST(PowerBudgetTest, HistogramFallbackStillLabelsEverything) {
+  // Even with a 2-question budget, every candidate pair must get a verdict
+  // (matched or not); quality degrades gracefully rather than crashing.
+  Table table = PaperExampleTable();
+  CrowdOracle oracle = PerfectOracle(table);
+  PowerConfig config;
+  config.max_questions = 2;
+  PowerResult r = PowerFramework(config).RunOnPairs(PaperExamplePairs(),
+                                                    &oracle);
+  EXPECT_LE(r.matched_pairs.size(), 18u);
+  auto prf = ComputePrf(r.matched_pairs, TrueMatchPairs(table));
+  EXPECT_GE(prf.f1, 0.0);  // smoke: defined even under extreme budgets
+}
+
+TEST(PowerBudgetTest, QualityGrowsWithBudget) {
+  DatasetProfile profile = RestaurantProfile();
+  profile.num_records = 200;
+  profile.num_entities = 150;
+  Table table = DatasetGenerator(29).Generate(profile);
+  auto truth = TrueMatchPairs(table);
+
+  double prev_f1 = -1.0;
+  size_t unlimited_questions = 0;
+  {
+    CrowdOracle oracle = PerfectOracle(table);
+    PowerConfig config;
+    PowerResult r = PowerFramework(config).Run(table, &oracle);
+    unlimited_questions = r.questions;
+  }
+  ASSERT_GT(unlimited_questions, 4u);
+  double f_small = 0.0;
+  double f_full = 0.0;
+  for (size_t budget :
+       {unlimited_questions / 4, unlimited_questions}) {
+    CrowdOracle oracle = PerfectOracle(table);
+    PowerConfig config;
+    config.max_questions = budget;
+    PowerResult r = PowerFramework(config).Run(table, &oracle);
+    double f1 = ComputePrf(r.matched_pairs, truth).f1;
+    if (prev_f1 < 0) {
+      f_small = f1;
+    } else {
+      f_full = f1;
+    }
+    prev_f1 = f1;
+  }
+  // Full budget with perfect workers must not be worse than a quarter of it.
+  EXPECT_GE(f_full + 1e-9, f_small);
+}
+
+TEST(PowerBudgetTest, BudgetRunIsCheaper) {
+  Table table = PaperExampleTable();
+  CrowdOracle o1 = PerfectOracle(table);
+  PowerConfig unlimited;
+  PowerResult full = PowerFramework(unlimited).RunOnPairs(
+      PaperExamplePairs(), &o1);
+
+  CrowdOracle o2 = PerfectOracle(table);
+  PowerConfig capped = unlimited;
+  capped.max_questions = full.questions / 2;
+  PowerResult half = PowerFramework(capped).RunOnPairs(PaperExamplePairs(),
+                                                       &o2);
+  EXPECT_LT(half.questions, full.questions);
+}
+
+}  // namespace
+}  // namespace power

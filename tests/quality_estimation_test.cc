@@ -1,0 +1,148 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "crowd/quality_estimation.h"
+#include "crowd/weighted_vote.h"
+#include "util/rng.h"
+
+namespace power {
+namespace {
+
+// Synthetic vote matrix: workers with known accuracies answer questions
+// with known truths.
+struct SyntheticCrowd {
+  std::vector<double> accuracies;
+  std::vector<bool> truths;
+  std::vector<ObservedVote> votes;
+};
+
+SyntheticCrowd MakeCrowd(uint64_t seed, int num_workers, int num_questions,
+                         double acc_lo, double acc_hi,
+                         int votes_per_question) {
+  Rng rng(seed);
+  SyntheticCrowd crowd;
+  for (int w = 0; w < num_workers; ++w) {
+    crowd.accuracies.push_back(rng.UniformDouble(acc_lo, acc_hi));
+  }
+  for (int q = 0; q < num_questions; ++q) {
+    crowd.truths.push_back(rng.Bernoulli(0.5));
+    for (int k = 0; k < votes_per_question; ++k) {
+      int w = static_cast<int>(rng.UniformIndex(num_workers));
+      bool correct = rng.Bernoulli(crowd.accuracies[w]);
+      crowd.votes.push_back(
+          {q, w, correct ? crowd.truths[q] : !crowd.truths[q]});
+    }
+  }
+  return crowd;
+}
+
+TEST(QualityEstimationTest, EmptyInput) {
+  QualityEstimate est = EstimateWorkerQuality({}, 3, 2);
+  ASSERT_EQ(est.worker_accuracy.size(), 3u);
+  ASSERT_EQ(est.question_posterior.size(), 2u);
+  EXPECT_DOUBLE_EQ(est.worker_accuracy[0], 0.7);
+  EXPECT_DOUBLE_EQ(est.question_posterior[0], 0.5);
+}
+
+TEST(QualityEstimationTest, RecoversAnswersFromReliableCrowd) {
+  SyntheticCrowd crowd = MakeCrowd(11, 20, 200, 0.85, 0.95, 7);
+  QualityEstimate est = EstimateWorkerQuality(
+      crowd.votes, 20, static_cast<int>(crowd.truths.size()));
+  int correct = 0;
+  for (size_t q = 0; q < crowd.truths.size(); ++q) {
+    if ((est.question_posterior[q] > 0.5) == crowd.truths[q]) ++correct;
+  }
+  EXPECT_GE(correct, 195);  // near-perfect answer recovery
+}
+
+TEST(QualityEstimationTest, SeparatesGoodFromBadWorkers) {
+  // Half the pool at ~0.9, half at ~0.55: estimates must rank them.
+  Rng rng(13);
+  std::vector<double> accuracies;
+  for (int w = 0; w < 20; ++w) accuracies.push_back(w < 10 ? 0.92 : 0.55);
+  std::vector<ObservedVote> votes;
+  const int kQuestions = 400;
+  std::vector<bool> truths;
+  for (int q = 0; q < kQuestions; ++q) {
+    truths.push_back(rng.Bernoulli(0.5));
+    for (int w = 0; w < 20; ++w) {
+      if (!rng.Bernoulli(0.4)) continue;  // sparse participation
+      bool correct = rng.Bernoulli(accuracies[w]);
+      votes.push_back({q, w, correct ? truths[q] : !truths[q]});
+    }
+  }
+  QualityEstimate est = EstimateWorkerQuality(votes, 20, kQuestions);
+  double good_avg = 0.0;
+  double bad_avg = 0.0;
+  for (int w = 0; w < 10; ++w) good_avg += est.worker_accuracy[w];
+  for (int w = 10; w < 20; ++w) bad_avg += est.worker_accuracy[w];
+  good_avg /= 10;
+  bad_avg /= 10;
+  EXPECT_GT(good_avg, bad_avg + 0.15);
+  EXPECT_GT(good_avg, 0.8);
+  EXPECT_LT(bad_avg, 0.7);
+}
+
+TEST(QualityEstimationTest, EstimateAccuracyCloseToTruth) {
+  SyntheticCrowd crowd = MakeCrowd(17, 15, 500, 0.6, 0.95, 6);
+  QualityEstimate est = EstimateWorkerQuality(
+      crowd.votes, 15, static_cast<int>(crowd.truths.size()));
+  double mae = 0.0;
+  for (int w = 0; w < 15; ++w) {
+    mae += std::abs(est.worker_accuracy[w] - crowd.accuracies[w]);
+  }
+  mae /= 15;
+  EXPECT_LT(mae, 0.08);
+}
+
+TEST(QualityEstimationTest, EstimatesImproveWeightedVoting) {
+  // Downstream effect: EM-estimated accuracies feeding WeightedMajority
+  // must beat unweighted majority on a mixed pool.
+  SyntheticCrowd crowd = MakeCrowd(23, 30, 600, 0.52, 0.95, 5);
+  const int num_questions = static_cast<int>(crowd.truths.size());
+  QualityEstimate est =
+      EstimateWorkerQuality(crowd.votes, 30, num_questions);
+
+  std::vector<std::vector<const ObservedVote*>> by_question(num_questions);
+  for (const auto& v : crowd.votes) by_question[v.question].push_back(&v);
+  int majority_correct = 0;
+  int weighted_correct = 0;
+  for (int q = 0; q < num_questions; ++q) {
+    int yes = 0;
+    std::vector<WorkerVote> weighted;
+    for (const ObservedVote* v : by_question[q]) {
+      if (v->yes) ++yes;
+      weighted.push_back({v->yes, est.worker_accuracy[v->worker]});
+    }
+    bool majority =
+        2 * yes > static_cast<int>(by_question[q].size());
+    if (majority == crowd.truths[q]) ++majority_correct;
+    if (WeightedMajority(weighted).yes == crowd.truths[q]) {
+      ++weighted_correct;
+    }
+  }
+  EXPECT_GE(weighted_correct, majority_correct);
+}
+
+TEST(QualityEstimationTest, WorkerWithoutVotesKeepsPrior) {
+  std::vector<ObservedVote> votes = {{0, 0, true}, {0, 1, true}};
+  QualityEstimate est = EstimateWorkerQuality(votes, 3, 1);
+  EXPECT_DOUBLE_EQ(est.worker_accuracy[2], 0.7);
+}
+
+TEST(QualityEstimationTest, AccuraciesStayClamped) {
+  // Unanimous agreement would push accuracies to 1.0 without the clamp.
+  std::vector<ObservedVote> votes;
+  for (int q = 0; q < 10; ++q) {
+    for (int w = 0; w < 4; ++w) votes.push_back({q, w, true});
+  }
+  QualityEstimate est = EstimateWorkerQuality(votes, 4, 10);
+  for (double a : est.worker_accuracy) {
+    EXPECT_GE(a, 0.05);
+    EXPECT_LE(a, 0.95);
+  }
+}
+
+}  // namespace
+}  // namespace power

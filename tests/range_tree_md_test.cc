@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_example.h"
+#include "graph/builder.h"
+#include "graph/range_tree_md.h"
+#include "util/rng.h"
+
+namespace power {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(uint64_t seed, size_t n,
+                                              size_t m, int grid) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(m));
+  for (auto& p : points) {
+    for (auto& x : p) {
+      x = static_cast<double>(rng.UniformIndex(grid + 1)) / grid;
+    }
+  }
+  return points;
+}
+
+std::vector<int> NaiveDominated(const std::vector<std::vector<double>>& pts,
+                                const std::vector<double>& q) {
+  std::vector<int> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = true;
+    for (size_t k = 0; k < q.size(); ++k) {
+      if (pts[i][k] > q[k]) {
+        dominated = false;
+        break;
+      }
+    }
+    if (dominated) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+TEST(RangeTreeMdTest, EmptyTree) {
+  RangeTreeMd tree;
+  tree.Build({});
+  EXPECT_EQ(tree.num_points(), 0u);
+  std::vector<int> out;
+  tree.QueryDominated({0.5}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RangeTreeMdTest, SinglePointSingleDim) {
+  RangeTreeMd tree;
+  tree.Build({{0.4}});
+  EXPECT_EQ(tree.QueryDominated({0.4}), (std::vector<int>{0}));
+  EXPECT_TRUE(tree.QueryDominated({0.39}).empty());
+  EXPECT_EQ(tree.QueryDominated({1.0}), (std::vector<int>{0}));
+}
+
+TEST(RangeTreeMdTest, InclusiveBoundariesAllDims) {
+  RangeTreeMd tree;
+  tree.Build({{0.5, 0.5, 0.5}});
+  EXPECT_EQ(tree.QueryDominated({0.5, 0.5, 0.5}).size(), 1u);
+  EXPECT_TRUE(tree.QueryDominated({0.5, 0.5, 0.49}).empty());
+  EXPECT_TRUE(tree.QueryDominated({0.49, 0.5, 0.5}).empty());
+}
+
+struct MdCase {
+  size_t n;
+  size_t m;
+  int grid;
+  uint64_t seed;
+};
+
+class RangeTreeMdEquivalence : public ::testing::TestWithParam<MdCase> {};
+
+TEST_P(RangeTreeMdEquivalence, MatchesNaiveScan) {
+  const MdCase& c = GetParam();
+  auto points = RandomPoints(c.seed, c.n, c.m, c.grid);
+  RangeTreeMd tree;
+  tree.Build(std::vector<std::vector<double>>(points));
+  ASSERT_EQ(tree.num_points(), c.n);
+  ASSERT_EQ(tree.dims(), c.m);
+  // Query at every point plus a few synthetic corners.
+  for (const auto& q : points) {
+    auto got = tree.QueryDominated(q);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, NaiveDominated(points, q));
+  }
+  std::vector<double> all_ones(c.m, 1.0);
+  auto got = tree.QueryDominated(all_ones);
+  EXPECT_EQ(got.size(), c.n);
+  std::vector<double> below(c.m, -0.1);
+  EXPECT_TRUE(tree.QueryDominated(below).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RangeTreeMdEquivalence,
+    ::testing::Values(MdCase{1, 1, 4, 1}, MdCase{20, 1, 3, 2},
+                      MdCase{40, 2, 4, 3}, MdCase{60, 3, 3, 4},
+                      MdCase{80, 4, 4, 5}, MdCase{50, 5, 2, 6},
+                      MdCase{100, 4, 1, 7},  // heavy ties
+                      MdCase{150, 3, 8, 8}, MdCase{33, 6, 3, 9}));
+
+std::set<std::pair<int, int>> EdgeSet(const PairGraph& g) {
+  std::set<std::pair<int, int>> edges;
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    for (int c : g.children(static_cast<int>(v))) {
+      edges.insert({static_cast<int>(v), c});
+    }
+  }
+  return edges;
+}
+
+TEST(RangeTreeMdBuilderTest, MatchesBruteForceOnPaperExample) {
+  auto pairs = PaperExamplePairs();
+  PairGraph brute = BuildPairGraph(BruteForceBuilder(), pairs);
+  PairGraph md = BuildPairGraph(RangeTreeMdBuilder(), pairs);
+  EXPECT_EQ(EdgeSet(md), EdgeSet(brute));
+}
+
+TEST(RangeTreeMdBuilderTest, MatchesBruteForceOnRandomInputs) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    auto sims = RandomPoints(seed, 70, 4, 4);
+    PairGraph brute = BruteForceBuilder().Build(sims);
+    PairGraph md = RangeTreeMdBuilder().Build(sims);
+    EXPECT_EQ(EdgeSet(md), EdgeSet(brute)) << "seed=" << seed;
+  }
+}
+
+TEST(RangeTreeMdBuilderTest, EmptyInput) {
+  EXPECT_EQ(RangeTreeMdBuilder().Build({}).num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+#include "sim/similarity.h"
+
+namespace power {
+namespace {
+
+TEST(CosineSimilarityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity("a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity("a", "b"), 0.0);
+  // |{a}| = 1, |{a,b}| = 2, intersection 1: 1/sqrt(2).
+  EXPECT_NEAR(CosineSimilarity("a", "a b"), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity("a", ""), 0.0);
+}
+
+TEST(CosineSimilarityTest, BoundsAndSymmetry) {
+  const char* samples[] = {"a b c", "c d", "x", "", "a a b"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double s = CosineSimilarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_DOUBLE_EQ(s, CosineSimilarity(b, a));
+    }
+  }
+}
+
+TEST(OverlapCoefficientTest, ContainmentGivesOne) {
+  // The abbreviation property: a token-subset scores 1.
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("ritz carlton", "ritz carlton cafe"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("a b c", "b"), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("a b", "b c"), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("a", "b"), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("", ""), 1.0);
+}
+
+TEST(NumericSimilarityTest, NumbersCompareByMagnitude) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("100", "100"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("100", "50"), 0.5);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("0", "0"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("1994", "1994"), 1.0);
+  EXPECT_NEAR(NumericSimilarity("1990", "1995"), 1.0 - 5.0 / 1995.0, 1e-12);
+  // Opposite signs saturate at 0.
+  EXPECT_DOUBLE_EQ(NumericSimilarity("-10", "10"), 0.0);
+}
+
+TEST(NumericSimilarityTest, NonNumericFallsBackToBigram) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("abc", "abc"),
+                   BigramJaccard("abc", "abc"));
+  EXPECT_DOUBLE_EQ(NumericSimilarity("12a", "12a"),
+                   BigramJaccard("12a", "12a"));
+  // One numeric, one not: still the string fallback.
+  EXPECT_DOUBLE_EQ(NumericSimilarity("123", "abc"),
+                   BigramJaccard("123", "abc"));
+}
+
+TEST(ComputeSimilarityTest, DispatchesExtensions) {
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kCosine, "a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kOverlap, "a", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kNumeric, "10", "5"), 0.5);
+}
+
+TEST(SimilarityFunctionNameTest, ExtensionsNamed) {
+  EXPECT_STREQ(SimilarityFunctionName(SimilarityFunction::kCosine),
+               "cosine");
+  EXPECT_STREQ(SimilarityFunctionName(SimilarityFunction::kOverlap),
+               "overlap");
+  EXPECT_STREQ(SimilarityFunctionName(SimilarityFunction::kNumeric),
+               "numeric");
+}
+
+TEST(ReportTest, CsvRoundTripsThroughParser) {
+  ExperimentRow row;
+  row.method = Method::kPowerPlus;
+  row.quality = {0.9, 0.8, 0.847};
+  row.questions = 42;
+  row.iterations = 5;
+  row.dollars = 2.5;
+  std::string csv = ExperimentRowsToCsv({{"Cora,70%", row}});
+  // Header + one data row; the comma inside the label must be quoted.
+  EXPECT_NE(csv.find("label,method,f1"), std::string::npos);
+  EXPECT_NE(csv.find("\"Cora,70%\""), std::string::npos);
+  EXPECT_NE(csv.find("Power+"), std::string::npos);
+  EXPECT_NE(csv.find("42"), std::string::npos);
+}
+
+TEST(ReportTest, MarkdownTableShape) {
+  ExperimentRow row;
+  row.method = Method::kTrans;
+  row.questions = 7;
+  std::string md = ExperimentRowsToMarkdown({{"x", row}, {"y", row}});
+  // Header, separator, two data rows.
+  int lines = 0;
+  for (char c : md) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(md.find("| label |"), std::string::npos);
+  EXPECT_NE(md.find("| Trans |"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyRows) {
+  std::string csv = ExperimentRowsToCsv({});
+  EXPECT_NE(csv.find("label"), std::string::npos);
+  std::string md = ExperimentRowsToMarkdown({});
+  EXPECT_NE(md.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sim/tokenizer.h"
+
+namespace power {
+namespace {
+
+TEST(TokenizerTest, WordTokenSetLowersAndDedupes) {
+  auto tokens = WordTokenSet("The the CAT cat sat");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cat", "sat", "the"}));
+}
+
+TEST(TokenizerTest, WordTokenSetEmpty) {
+  EXPECT_TRUE(WordTokenSet("").empty());
+  EXPECT_TRUE(WordTokenSet("   ").empty());
+}
+
+TEST(TokenizerTest, QGramSetBasic) {
+  auto grams = QGramSet("abcd", 2);
+  EXPECT_EQ(grams, (std::vector<std::string>{"ab", "bc", "cd"}));
+}
+
+TEST(TokenizerTest, QGramSetDedupes) {
+  auto grams = QGramSet("aaaa", 2);
+  EXPECT_EQ(grams, (std::vector<std::string>{"aa"}));
+}
+
+TEST(TokenizerTest, QGramSetShortStringYieldsWholeString) {
+  EXPECT_EQ(QGramSet("a", 2), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(QGramSet("ab", 2), (std::vector<std::string>{"ab"}));
+  EXPECT_TRUE(QGramSet("", 2).empty());
+}
+
+TEST(TokenizerTest, QGramSetLowercases) {
+  EXPECT_EQ(QGramSet("AB", 2), (std::vector<std::string>{"ab"}));
+}
+
+TEST(JaccardOfSetsTest, IdenticalSetsGiveOne) {
+  std::vector<std::string> a = {"a", "b", "c"};
+  EXPECT_DOUBLE_EQ(JaccardOfSets(a, a), 1.0);
+}
+
+TEST(JaccardOfSetsTest, DisjointSetsGiveZero) {
+  EXPECT_DOUBLE_EQ(JaccardOfSets({"a"}, {"b"}), 0.0);
+}
+
+TEST(JaccardOfSetsTest, PartialOverlap) {
+  // {a,b,c} vs {b,c,d}: 2 / 4.
+  EXPECT_DOUBLE_EQ(JaccardOfSets({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+}
+
+TEST(JaccardOfSetsTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(JaccardOfSets({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardOfSets({"a"}, {}), 0.0);
+}
+
+TEST(JaccardOfSetsTest, PaperAddressExample) {
+  // s_12^2 in the paper: Jac("181 w. peachtree st.", "181 peachtree dr")
+  //   = |{181, peachtree}| / |{181, w., peachtree, st., dr}| = 2/5 = 0.4.
+  auto a = WordTokenSet("181 w. peachtree st.");
+  auto b = WordTokenSet("181 peachtree dr");
+  EXPECT_DOUBLE_EQ(JaccardOfSets(a, b), 0.4);
+}
+
+}  // namespace
+}  // namespace power

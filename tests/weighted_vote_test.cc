@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "crowd/weighted_vote.h"
+#include "crowd/worker.h"
+
+namespace power {
+namespace {
+
+TEST(WeightedVoteTest, EmptyVotesAreUninformative) {
+  EXPECT_DOUBLE_EQ(MatchPosterior({}), 0.5);
+  WeightedVoteResult r = WeightedMajority({});
+  EXPECT_FALSE(r.yes);
+  EXPECT_DOUBLE_EQ(r.confidence, 0.5);
+}
+
+TEST(WeightedVoteTest, SingleVoteMatchesWorkerAccuracy) {
+  // One YES from a worker with accuracy a: posterior = a.
+  EXPECT_NEAR(MatchPosterior({{true, 0.8}}), 0.8, 1e-12);
+  EXPECT_NEAR(MatchPosterior({{false, 0.8}}), 0.2, 1e-12);
+}
+
+TEST(WeightedVoteTest, UnanimousVotesCompound) {
+  std::vector<WorkerVote> votes(3, {true, 0.8});
+  // log-odds add: posterior = 0.8^3 / (0.8^3 + 0.2^3).
+  EXPECT_NEAR(MatchPosterior(votes), 0.512 / (0.512 + 0.008), 1e-9);
+}
+
+TEST(WeightedVoteTest, OpposingEqualVotesCancel) {
+  EXPECT_NEAR(MatchPosterior({{true, 0.8}, {false, 0.8}}), 0.5, 1e-12);
+}
+
+TEST(WeightedVoteTest, AccurateWorkerOutweighsInaccurateMajority) {
+  // One 0.95-accuracy YES vs two 0.6-accuracy NOs: the expert wins.
+  std::vector<WorkerVote> votes = {{true, 0.95}, {false, 0.6}, {false, 0.6}};
+  EXPECT_GT(MatchPosterior(votes), 0.5);
+  // ...but plain majority voting would have said NO.
+  int yes = 0;
+  for (const auto& v : votes) {
+    if (v.yes) ++yes;
+  }
+  EXPECT_LT(2 * yes, static_cast<int>(votes.size()));
+}
+
+TEST(WeightedVoteTest, CoinFlipWorkersCarryNoWeight) {
+  std::vector<WorkerVote> votes = {{true, 0.5}, {true, 0.5}, {false, 0.9}};
+  EXPECT_LT(MatchPosterior(votes), 0.5);
+}
+
+TEST(WeightedVoteTest, AccuracyClampPreventsSaturation) {
+  // A (bogus) accuracy-1.0 worker must not force posterior exactly 1.
+  double p = MatchPosterior({{true, 1.0}, {false, 0.9}});
+  EXPECT_LT(p, 1.0);
+  EXPECT_GT(p, 0.5);
+}
+
+TEST(WeightedVoteTest, ConfidenceIsSymmetric) {
+  WeightedVoteResult yes = WeightedMajority({{true, 0.8}});
+  WeightedVoteResult no = WeightedMajority({{false, 0.8}});
+  EXPECT_TRUE(yes.yes);
+  EXPECT_FALSE(no.yes);
+  EXPECT_DOUBLE_EQ(yes.confidence, no.confidence);
+}
+
+TEST(AskDetailedTest, MatchesAggregateAsk) {
+  CrowdSimulator a({0.7, 0.9}, WorkerModel::kExactAccuracy, 5, 77);
+  CrowdSimulator b({0.7, 0.9}, WorkerModel::kExactAccuracy, 5, 77);
+  for (int i = 0; i < 50; ++i) {
+    bool truth = i % 2 == 0;
+    auto detailed = a.AskDetailed(truth, 0.3);
+    VoteResult aggregate = b.Ask(truth, 0.3);
+    int yes = 0;
+    for (const auto& v : detailed) {
+      if (v.yes) ++yes;
+      EXPECT_GE(v.accuracy, 0.7);
+      EXPECT_LE(v.accuracy, 0.9);
+    }
+    EXPECT_EQ(yes, aggregate.yes_votes);
+    EXPECT_EQ(detailed.size(), 5u);
+  }
+}
+
+TEST(AskDetailedTest, WeightedAggregationImprovesOnMajorityWithMixedPool) {
+  // A pool with a wide accuracy spread: weighting by (known) accuracy must
+  // beat unweighted majority voting on decision accuracy.
+  CrowdSimulator sim({0.55, 0.95}, WorkerModel::kExactAccuracy, 5, 123);
+  int majority_correct = 0;
+  int weighted_correct = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    bool truth = i % 2 == 0;
+    auto votes = sim.AskDetailed(truth, 0.0);
+    int yes = 0;
+    for (const auto& v : votes) {
+      if (v.yes) ++yes;
+    }
+    if ((2 * yes > static_cast<int>(votes.size())) == truth) {
+      ++majority_correct;
+    }
+    if (WeightedMajority(votes).yes == truth) ++weighted_correct;
+  }
+  EXPECT_GE(weighted_correct, majority_correct);
+}
+
+}  // namespace
+}  // namespace power
