@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_real.dir/bench_accuracy_real.cc.o"
+  "CMakeFiles/bench_accuracy_real.dir/bench_accuracy_real.cc.o.d"
+  "bench_accuracy_real"
+  "bench_accuracy_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

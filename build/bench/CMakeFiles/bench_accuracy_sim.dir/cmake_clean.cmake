@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_sim.dir/bench_accuracy_sim.cc.o"
+  "CMakeFiles/bench_accuracy_sim.dir/bench_accuracy_sim.cc.o.d"
+  "bench_accuracy_sim"
+  "bench_accuracy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_tolerant.dir/bench_error_tolerant.cc.o"
+  "CMakeFiles/bench_error_tolerant.dir/bench_error_tolerant.cc.o.d"
+  "bench_error_tolerant"
+  "bench_error_tolerant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_tolerant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

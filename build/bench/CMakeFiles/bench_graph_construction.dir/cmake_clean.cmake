@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_construction.dir/bench_graph_construction.cc.o"
+  "CMakeFiles/bench_graph_construction.dir/bench_graph_construction.cc.o.d"
+  "bench_graph_construction"
+  "bench_graph_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grouping_effect.dir/bench_grouping_effect.cc.o"
+  "CMakeFiles/bench_grouping_effect.dir/bench_grouping_effect.cc.o.d"
+  "bench_grouping_effect"
+  "bench_grouping_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grouping_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

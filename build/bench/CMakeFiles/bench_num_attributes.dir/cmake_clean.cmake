@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_num_attributes.dir/bench_num_attributes.cc.o"
+  "CMakeFiles/bench_num_attributes.dir/bench_num_attributes.cc.o.d"
+  "bench_num_attributes"
+  "bench_num_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_num_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selection_parallel.dir/bench_selection_parallel.cc.o"
+  "CMakeFiles/bench_selection_parallel.dir/bench_selection_parallel.cc.o.d"
+  "bench_selection_parallel"
+  "bench_selection_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selection_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

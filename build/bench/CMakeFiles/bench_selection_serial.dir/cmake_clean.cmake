@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selection_serial.dir/bench_selection_serial.cc.o"
+  "CMakeFiles/bench_selection_serial.dir/bench_selection_serial.cc.o.d"
+  "bench_selection_serial"
+  "bench_selection_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selection_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_budget_planner.dir/crowd_budget_planner.cpp.o"
+  "CMakeFiles/crowd_budget_planner.dir/crowd_budget_planner.cpp.o.d"
+  "crowd_budget_planner"
+  "crowd_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

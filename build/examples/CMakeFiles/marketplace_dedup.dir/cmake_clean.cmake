@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_dedup.dir/marketplace_dedup.cpp.o"
+  "CMakeFiles/marketplace_dedup.dir/marketplace_dedup.cpp.o.d"
+  "marketplace_dedup"
+  "marketplace_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

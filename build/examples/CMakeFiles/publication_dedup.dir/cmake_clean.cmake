@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publication_dedup.dir/publication_dedup.cpp.o"
+  "CMakeFiles/publication_dedup.dir/publication_dedup.cpp.o.d"
+  "publication_dedup"
+  "publication_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publication_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/acd.cc" "src/CMakeFiles/power.dir/baselines/acd.cc.o" "gcc" "src/CMakeFiles/power.dir/baselines/acd.cc.o.d"
+  "/root/repo/src/baselines/cluster_state.cc" "src/CMakeFiles/power.dir/baselines/cluster_state.cc.o" "gcc" "src/CMakeFiles/power.dir/baselines/cluster_state.cc.o.d"
+  "/root/repo/src/baselines/gcer.cc" "src/CMakeFiles/power.dir/baselines/gcer.cc.o" "gcc" "src/CMakeFiles/power.dir/baselines/gcer.cc.o.d"
+  "/root/repo/src/baselines/trans.cc" "src/CMakeFiles/power.dir/baselines/trans.cc.o" "gcc" "src/CMakeFiles/power.dir/baselines/trans.cc.o.d"
+  "/root/repo/src/blocking/pair_generator.cc" "src/CMakeFiles/power.dir/blocking/pair_generator.cc.o" "gcc" "src/CMakeFiles/power.dir/blocking/pair_generator.cc.o.d"
+  "/root/repo/src/blocking/prefix_join.cc" "src/CMakeFiles/power.dir/blocking/prefix_join.cc.o" "gcc" "src/CMakeFiles/power.dir/blocking/prefix_join.cc.o.d"
+  "/root/repo/src/core/consolidation.cc" "src/CMakeFiles/power.dir/core/consolidation.cc.o" "gcc" "src/CMakeFiles/power.dir/core/consolidation.cc.o.d"
+  "/root/repo/src/core/error_tolerance.cc" "src/CMakeFiles/power.dir/core/error_tolerance.cc.o" "gcc" "src/CMakeFiles/power.dir/core/error_tolerance.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/CMakeFiles/power.dir/core/histogram.cc.o" "gcc" "src/CMakeFiles/power.dir/core/histogram.cc.o.d"
+  "/root/repo/src/core/power.cc" "src/CMakeFiles/power.dir/core/power.cc.o" "gcc" "src/CMakeFiles/power.dir/core/power.cc.o.d"
+  "/root/repo/src/crowd/answer_cache.cc" "src/CMakeFiles/power.dir/crowd/answer_cache.cc.o" "gcc" "src/CMakeFiles/power.dir/crowd/answer_cache.cc.o.d"
+  "/root/repo/src/crowd/cost_model.cc" "src/CMakeFiles/power.dir/crowd/cost_model.cc.o" "gcc" "src/CMakeFiles/power.dir/crowd/cost_model.cc.o.d"
+  "/root/repo/src/crowd/quality_estimation.cc" "src/CMakeFiles/power.dir/crowd/quality_estimation.cc.o" "gcc" "src/CMakeFiles/power.dir/crowd/quality_estimation.cc.o.d"
+  "/root/repo/src/crowd/weighted_vote.cc" "src/CMakeFiles/power.dir/crowd/weighted_vote.cc.o" "gcc" "src/CMakeFiles/power.dir/crowd/weighted_vote.cc.o.d"
+  "/root/repo/src/crowd/worker.cc" "src/CMakeFiles/power.dir/crowd/worker.cc.o" "gcc" "src/CMakeFiles/power.dir/crowd/worker.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/power.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/power.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/paper_example.cc" "src/CMakeFiles/power.dir/data/paper_example.cc.o" "gcc" "src/CMakeFiles/power.dir/data/paper_example.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/power.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/power.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/power.dir/data/table.cc.o" "gcc" "src/CMakeFiles/power.dir/data/table.cc.o.d"
+  "/root/repo/src/eval/boundary.cc" "src/CMakeFiles/power.dir/eval/boundary.cc.o" "gcc" "src/CMakeFiles/power.dir/eval/boundary.cc.o.d"
+  "/root/repo/src/eval/cluster_metrics.cc" "src/CMakeFiles/power.dir/eval/cluster_metrics.cc.o" "gcc" "src/CMakeFiles/power.dir/eval/cluster_metrics.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/power.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/power.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/ground_truth.cc" "src/CMakeFiles/power.dir/eval/ground_truth.cc.o" "gcc" "src/CMakeFiles/power.dir/eval/ground_truth.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/power.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/power.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/power.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/power.dir/eval/report.cc.o.d"
+  "/root/repo/src/graph/brute_force_builder.cc" "src/CMakeFiles/power.dir/graph/brute_force_builder.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/brute_force_builder.cc.o.d"
+  "/root/repo/src/graph/coloring.cc" "src/CMakeFiles/power.dir/graph/coloring.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/coloring.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/power.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/pair_graph.cc" "src/CMakeFiles/power.dir/graph/pair_graph.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/pair_graph.cc.o.d"
+  "/root/repo/src/graph/quicksort_builder.cc" "src/CMakeFiles/power.dir/graph/quicksort_builder.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/quicksort_builder.cc.o.d"
+  "/root/repo/src/graph/range_tree.cc" "src/CMakeFiles/power.dir/graph/range_tree.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/range_tree.cc.o.d"
+  "/root/repo/src/graph/range_tree_builder.cc" "src/CMakeFiles/power.dir/graph/range_tree_builder.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/range_tree_builder.cc.o.d"
+  "/root/repo/src/graph/range_tree_md.cc" "src/CMakeFiles/power.dir/graph/range_tree_md.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/range_tree_md.cc.o.d"
+  "/root/repo/src/graph/range_tree_md_builder.cc" "src/CMakeFiles/power.dir/graph/range_tree_md_builder.cc.o" "gcc" "src/CMakeFiles/power.dir/graph/range_tree_md_builder.cc.o.d"
+  "/root/repo/src/group/greedy_grouper.cc" "src/CMakeFiles/power.dir/group/greedy_grouper.cc.o" "gcc" "src/CMakeFiles/power.dir/group/greedy_grouper.cc.o.d"
+  "/root/repo/src/group/group.cc" "src/CMakeFiles/power.dir/group/group.cc.o" "gcc" "src/CMakeFiles/power.dir/group/group.cc.o.d"
+  "/root/repo/src/group/grouped_graph.cc" "src/CMakeFiles/power.dir/group/grouped_graph.cc.o" "gcc" "src/CMakeFiles/power.dir/group/grouped_graph.cc.o.d"
+  "/root/repo/src/group/split_grouper.cc" "src/CMakeFiles/power.dir/group/split_grouper.cc.o" "gcc" "src/CMakeFiles/power.dir/group/split_grouper.cc.o.d"
+  "/root/repo/src/order/partial_order.cc" "src/CMakeFiles/power.dir/order/partial_order.cc.o" "gcc" "src/CMakeFiles/power.dir/order/partial_order.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/CMakeFiles/power.dir/platform/platform.cc.o" "gcc" "src/CMakeFiles/power.dir/platform/platform.cc.o.d"
+  "/root/repo/src/platform/platform_oracle.cc" "src/CMakeFiles/power.dir/platform/platform_oracle.cc.o" "gcc" "src/CMakeFiles/power.dir/platform/platform_oracle.cc.o.d"
+  "/root/repo/src/platform/worker_pool.cc" "src/CMakeFiles/power.dir/platform/worker_pool.cc.o" "gcc" "src/CMakeFiles/power.dir/platform/worker_pool.cc.o.d"
+  "/root/repo/src/select/matching.cc" "src/CMakeFiles/power.dir/select/matching.cc.o" "gcc" "src/CMakeFiles/power.dir/select/matching.cc.o.d"
+  "/root/repo/src/select/multi_path_selector.cc" "src/CMakeFiles/power.dir/select/multi_path_selector.cc.o" "gcc" "src/CMakeFiles/power.dir/select/multi_path_selector.cc.o.d"
+  "/root/repo/src/select/path_cover.cc" "src/CMakeFiles/power.dir/select/path_cover.cc.o" "gcc" "src/CMakeFiles/power.dir/select/path_cover.cc.o.d"
+  "/root/repo/src/select/random_selector.cc" "src/CMakeFiles/power.dir/select/random_selector.cc.o" "gcc" "src/CMakeFiles/power.dir/select/random_selector.cc.o.d"
+  "/root/repo/src/select/selector_factory.cc" "src/CMakeFiles/power.dir/select/selector_factory.cc.o" "gcc" "src/CMakeFiles/power.dir/select/selector_factory.cc.o.d"
+  "/root/repo/src/select/single_path_selector.cc" "src/CMakeFiles/power.dir/select/single_path_selector.cc.o" "gcc" "src/CMakeFiles/power.dir/select/single_path_selector.cc.o.d"
+  "/root/repo/src/select/topo_selector.cc" "src/CMakeFiles/power.dir/select/topo_selector.cc.o" "gcc" "src/CMakeFiles/power.dir/select/topo_selector.cc.o.d"
+  "/root/repo/src/sim/similarity.cc" "src/CMakeFiles/power.dir/sim/similarity.cc.o" "gcc" "src/CMakeFiles/power.dir/sim/similarity.cc.o.d"
+  "/root/repo/src/sim/similarity_matrix.cc" "src/CMakeFiles/power.dir/sim/similarity_matrix.cc.o" "gcc" "src/CMakeFiles/power.dir/sim/similarity_matrix.cc.o.d"
+  "/root/repo/src/sim/tokenizer.cc" "src/CMakeFiles/power.dir/sim/tokenizer.cc.o" "gcc" "src/CMakeFiles/power.dir/sim/tokenizer.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/power.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/power.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/power.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/power.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/power.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/power.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

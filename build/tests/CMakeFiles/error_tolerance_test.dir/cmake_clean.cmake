@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_tolerance_test.dir/error_tolerance_test.cc.o"
+  "CMakeFiles/error_tolerance_test.dir/error_tolerance_test.cc.o.d"
+  "error_tolerance_test"
+  "error_tolerance_test.pdb"
+  "error_tolerance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_tolerance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

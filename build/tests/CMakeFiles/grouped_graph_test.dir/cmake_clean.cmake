@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_graph_test.dir/grouped_graph_test.cc.o"
+  "CMakeFiles/grouped_graph_test.dir/grouped_graph_test.cc.o.d"
+  "grouped_graph_test"
+  "grouped_graph_test.pdb"
+  "grouped_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

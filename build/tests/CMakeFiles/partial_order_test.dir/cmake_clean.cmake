@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_order_test.dir/partial_order_test.cc.o"
+  "CMakeFiles/partial_order_test.dir/partial_order_test.cc.o.d"
+  "partial_order_test"
+  "partial_order_test.pdb"
+  "partial_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_cover_test.dir/path_cover_test.cc.o"
+  "CMakeFiles/path_cover_test.dir/path_cover_test.cc.o.d"
+  "path_cover_test"
+  "path_cover_test.pdb"
+  "path_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_budget_test.dir/power_budget_test.cc.o"
+  "CMakeFiles/power_budget_test.dir/power_budget_test.cc.o.d"
+  "power_budget_test"
+  "power_budget_test.pdb"
+  "power_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_optimality_test.dir/selection_optimality_test.cc.o"
+  "CMakeFiles/selection_optimality_test.dir/selection_optimality_test.cc.o.d"
+  "selection_optimality_test"
+  "selection_optimality_test.pdb"
+  "selection_optimality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_optimality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_vote_test.dir/weighted_vote_test.cc.o"
+  "CMakeFiles/weighted_vote_test.dir/weighted_vote_test.cc.o.d"
+  "weighted_vote_test"
+  "weighted_vote_test.pdb"
+  "weighted_vote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_vote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
