@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "graph/builder.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace power {
@@ -89,6 +90,40 @@ BENCHMARK(BM_Index)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
     ->Unit(benchmark::kMillisecond)->Complexity();
 BENCHMARK(BM_Index)->Arg(16000)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the parallel builders (util/parallel.h pool) on the
+// largest configured input. range(0) = num_threads; 1 is the exact serial
+// path. The differential tests pin the output identical at every point of
+// this sweep, so the speedup is free of result drift.
+template <typename Builder>
+void ThreadSweep(benchmark::State& state, const Builder& builder, size_t n) {
+  auto sims = SampleVectors(n);
+  ScopedNumThreads scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    PairGraph g = builder.Build(sims);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void BM_BruteForceThreads(benchmark::State& state) {
+  ThreadSweep(state, BruteForceBuilder(), 8000);
+}
+
+void BM_QuickSortThreads(benchmark::State& state) {
+  ThreadSweep(state, QuickSortBuilder(kBenchSeed), 8000);
+}
+
+void BM_IndexThreads(benchmark::State& state) {
+  ThreadSweep(state, RangeTreeBuilder(), 16000);
+}
+
+BENCHMARK(BM_BruteForceThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_QuickSortThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_IndexThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Ablation: the true m-dimensional range tree (no verification pass) vs the
 // paper's 2-indexed-attributes + verify heuristic. Its O(n log^{m-1} n)

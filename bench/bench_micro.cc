@@ -15,6 +15,7 @@
 #include "select/matching.h"
 #include "select/path_cover.h"
 #include "sim/similarity.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace power {
@@ -73,6 +74,43 @@ void BM_PrefixFilterJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefixFilterJoin)->Arg(256)->Arg(512)->Arg(858)
     ->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the per-pair attribute-similarity stage — the dominant
+// machine-side cost of the pipeline (string metrics per candidate pair).
+// range(0) = num_threads; 1 is the exact serial path, and the differential
+// tests pin the output bit-identical across the sweep.
+void BM_PairSimilaritiesThreads(benchmark::State& state) {
+  static const BenchDataset& ds = *new BenchDataset(
+      MakeDataset(AcmPubProfile(AcmPubScale())));
+  ScopedNumThreads scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto pairs = ComputePairSimilarities(ds.table, ds.candidates, 0.2);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["pairs"] = static_cast<double>(ds.candidates.size());
+}
+BENCHMARK(BM_PairSimilaritiesThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Thread scaling of exhaustive candidate generation (the kAllPairs fallback
+// path, n^2/2 comparability probes).
+void BM_AllPairsCandidatesThreads(benchmark::State& state) {
+  static const Table& table = *new Table([] {
+    DatasetProfile profile = RestaurantProfile();
+    profile.num_records = 858;
+    return DatasetGenerator(kBenchSeed).Generate(profile);
+  }());
+  ScopedNumThreads scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto candidates =
+        GenerateCandidates(table, 0.3, CandidateMethod::kAllPairs);
+    benchmark::DoNotOptimize(candidates.size());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AllPairsCandidatesThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_RangeTreeQuery(benchmark::State& state) {
   Rng rng(3);

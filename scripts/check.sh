@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Repo check gate:
+#   1. regular build + full ctest suite;
+#   2. ThreadSanitizer build running the parallel differential, determinism,
+#      fuzz, and pool tests (the PR gate for every change touching
+#      util/parallel.h or a sharded hot path).
+#
+# Usage: scripts/check.sh [--tsan-only|--no-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_MAIN=1
+RUN_TSAN=1
+case "${1:-}" in
+  --tsan-only) RUN_MAIN=0 ;;
+  --no-tsan) RUN_TSAN=0 ;;
+  "") ;;
+  *) echo "unknown flag: $1" >&2; exit 2 ;;
+esac
+
+# The parallel harness: differential (parallel output == serial output),
+# determinism (PowerResult independent of num_threads), the coloring fuzz
+# suite on parallel-built graphs, and the ParallelFor/ThreadPool unit tests.
+# ctest filters by gtest-discovered *test* names, not binary names.
+PARALLEL_TESTS='Parallel|ColoringFuzz'
+
+if [[ "$RUN_MAIN" == 1 ]]; then
+  echo "== build (default flags) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j >/dev/null
+  echo "== ctest (full suite) =="
+  (cd build && ctest --output-on-failure -j)
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== build (ThreadSanitizer) =="
+  cmake -B build-tsan -S . \
+    -DPOWER_SANITIZE=thread \
+    -DPOWER_BUILD_BENCHMARKS=OFF \
+    -DPOWER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j >/dev/null
+  echo "== ctest (parallel suite under TSan) =="
+  # Exercise the pool beyond any single test's thread count.
+  (cd build-tsan && POWER_THREADS=8 ctest --output-on-failure -j 2 \
+      --tests-regex "$PARALLEL_TESTS")
+fi
+
+echo "OK"

@@ -2,19 +2,34 @@
 
 #include "blocking/prefix_join.h"
 #include "sim/similarity_matrix.h"
+#include "util/parallel.h"
 
 namespace power {
 
 std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
                                                     double tau) {
+  // Row-sharded over the pool. Chunks cover ascending i-ranges and their
+  // buffers are concatenated in chunk order, so the output ordering is
+  // exactly the serial loop's ((i asc, j asc)) at any thread count.
+  constexpr int64_t kRowGrain = 16;
+  const int n = static_cast<int>(table.num_records());
+  std::vector<std::vector<std::pair<int, int>>> found(
+      NumChunks(0, n, kRowGrain));
+  ParallelForChunked(0, n, kRowGrain,
+                     [&](size_t chunk, int64_t row_begin, int64_t row_end) {
+                       auto& buf = found[chunk];
+                       for (int i = static_cast<int>(row_begin);
+                            i < static_cast<int>(row_end); ++i) {
+                         for (int j = i + 1; j < n; ++j) {
+                           if (RecordLevelJaccard(table, i, j) >= tau) {
+                             buf.emplace_back(i, j);
+                           }
+                         }
+                       }
+                     });
   std::vector<std::pair<int, int>> out;
-  int n = static_cast<int>(table.num_records());
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      if (RecordLevelJaccard(table, i, j) >= tau) {
-        out.emplace_back(i, j);
-      }
-    }
+  for (auto& buf : found) {
+    out.insert(out.end(), buf.begin(), buf.end());
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include "group/split_grouper.h"
 #include "sim/similarity_matrix.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -59,17 +60,27 @@ std::unique_ptr<GraphBuilder> MakeBuilder(BuilderKind kind, uint64_t seed) {
 
 PowerResult PowerFramework::Run(const Table& table,
                                 PairOracle* oracle) const {
+  ScopedNumThreads thread_scope(config_.num_threads);
+  Stopwatch prune_watch;
   std::vector<std::pair<int, int>> candidates =
       GenerateCandidates(table, config_.prune_tau, config_.candidate_method);
+  double pruning_seconds = prune_watch.ElapsedSeconds();
+  Stopwatch sim_watch;
   std::vector<SimilarPair> pairs =
       ComputePairSimilarities(table, candidates, config_.component_floor);
-  return RunOnPairs(pairs, oracle);
+  double similarity_seconds = sim_watch.ElapsedSeconds();
+  PowerResult result = RunOnPairs(pairs, oracle);
+  result.pruning_seconds = pruning_seconds;
+  result.similarity_seconds = similarity_seconds;
+  return result;
 }
 
 PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
                                        PairOracle* oracle) const {
   POWER_CHECK(oracle != nullptr);
+  ScopedNumThreads thread_scope(config_.num_threads);
   PowerResult result;
+  result.num_threads = NumThreads();
   result.num_pairs = pairs.size();
   if (pairs.empty()) return result;
 
@@ -86,7 +97,8 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
   if (config_.grouping == GroupingKind::kNone) {
     result.grouping_seconds = 0.0;
     Stopwatch graph_watch;
-    grouped = BuildUngrouped(*MakeBuilder(config_.builder, rng.Fork()), sims);
+    grouped = BuildUngrouped(*MakeBuilder(config_.builder, rng.Fork()),
+                             std::vector<std::vector<double>>(sims));
     result.graph_seconds = graph_watch.ElapsedSeconds();
   } else {
     std::unique_ptr<Grouper> grouper;

@@ -47,6 +47,14 @@ struct PowerConfig {
   ErrorToleranceConfig tolerance;
 
   uint64_t seed = 7;
+
+  /// Threads for the machine-side hot paths (candidate generation,
+  /// similarity vectors, graph construction). 0 = process default
+  /// (POWER_THREADS env var, else hardware concurrency); 1 = the exact
+  /// serial path. Parallelism never changes results: every sharded loop
+  /// merges per-chunk output deterministically, so PowerResult is identical
+  /// at any thread count (tests/parallel_determinism_test.cc).
+  int num_threads = 0;
 };
 
 /// Pipeline outcome: the common ER result plus pipeline statistics used by
@@ -60,6 +68,12 @@ struct PowerResult : ErResult {
   bool budget_exhausted = false;
   double grouping_seconds = 0.0;
   double graph_seconds = 0.0;
+  /// Time in the pruning / candidate-generation stage (Run only).
+  double pruning_seconds = 0.0;
+  /// Time computing per-attribute similarity vectors (Run only).
+  double similarity_seconds = 0.0;
+  /// Resolved thread count the machine-side stages ran with.
+  int num_threads = 1;
 };
 
 /// The partial-order-based crowdsourced entity resolution framework

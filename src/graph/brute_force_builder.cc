@@ -1,33 +1,55 @@
+#include <utility>
+
 #include "graph/builder.h"
 #include "order/partial_order.h"
+#include "util/parallel.h"
 
 namespace power {
+namespace {
+
+// Rows per ParallelFor chunk. Row a costs n - a - 1 comparisons, so chunks
+// are deliberately small and claimed dynamically to balance the triangle.
+constexpr int64_t kRowGrain = 32;
+
+}  // namespace
 
 PairGraph BuildPairGraph(const GraphBuilder& builder,
                          const std::vector<SimilarPair>& pairs) {
   std::vector<std::vector<double>> sims;
   sims.reserve(pairs.size());
   for (const auto& p : pairs) sims.push_back(p.sims);
-  return builder.Build(sims);
+  return builder.Build(std::move(sims));
 }
 
-PairGraph BruteForceBuilder::Build(
-    const std::vector<std::vector<double>>& sims) const {
-  PairGraph graph{std::vector<std::vector<double>>(sims)};
-  int n = static_cast<int>(sims.size());
-  for (int a = 0; a < n; ++a) {
-    for (int b = a + 1; b < n; ++b) {
-      switch (CompareDominance(sims[a], sims[b])) {
-        case DomOrder::kDominates:
-          graph.AddEdge(a, b);
-          break;
-        case DomOrder::kDominatedBy:
-          graph.AddEdge(b, a);
-          break;
-        default:
-          break;
-      }
-    }
+PairGraph BruteForceBuilder::Build(std::vector<std::vector<double>> sims) const {
+  PairGraph graph{std::move(sims)};
+  const std::vector<std::vector<double>>& s = graph.all_sims();
+  const int n = static_cast<int>(s.size());
+  // Row-sharded over the pool: chunk boundaries depend only on (n, grain),
+  // and each chunk's edges land in its own buffer, appended in chunk order —
+  // the graph is identical at any thread count.
+  std::vector<std::vector<std::pair<int, int>>> edges(NumChunks(0, n, kRowGrain));
+  ParallelForChunked(0, n, kRowGrain,
+                     [&](size_t chunk, int64_t row_begin, int64_t row_end) {
+                       auto& buf = edges[chunk];
+                       for (int a = static_cast<int>(row_begin);
+                            a < static_cast<int>(row_end); ++a) {
+                         for (int b = a + 1; b < n; ++b) {
+                           switch (CompareDominance(s[a], s[b])) {
+                             case DomOrder::kDominates:
+                               buf.emplace_back(a, b);
+                               break;
+                             case DomOrder::kDominatedBy:
+                               buf.emplace_back(b, a);
+                               break;
+                             default:
+                               break;
+                           }
+                         }
+                       }
+                     });
+  for (const auto& buf : edges) {
+    for (const auto& [parent, child] : buf) graph.AddEdge(parent, child);
   }
   graph.DedupEdges();
   return graph;

@@ -11,12 +11,21 @@ namespace power {
 /// A graph-construction algorithm (§4.1). All builders produce the same
 /// graph: the full strict-dominance relation over the input similarity
 /// vectors (edges deduplicated, adjacency sorted).
+///
+/// `sims` is taken by value and moved into the returned PairGraph (the graph
+/// owns the vectors anyway); pass std::move(sims) to avoid the deep copy.
+///
+/// Builders shard their dominance loops over the ParallelFor pool
+/// (util/parallel.h). Sharding is by row with chunk boundaries independent
+/// of the thread count, and per-chunk edge buffers are appended in chunk
+/// order before DedupEdges() sorts the adjacency — so the built graph is
+/// identical at any thread count, including the num_threads == 1 exact
+/// serial path.
 class GraphBuilder {
  public:
   virtual ~GraphBuilder() = default;
   virtual const char* name() const = 0;
-  virtual PairGraph Build(
-      const std::vector<std::vector<double>>& sims) const = 0;
+  virtual PairGraph Build(std::vector<std::vector<double>> sims) const = 0;
 };
 
 /// Convenience: extracts the similarity vectors of `pairs` and builds with
@@ -28,7 +37,7 @@ PairGraph BuildPairGraph(const GraphBuilder& builder,
 class BruteForceBuilder : public GraphBuilder {
  public:
   const char* name() const override { return "BruteForce"; }
-  PairGraph Build(const std::vector<std::vector<double>>& sims) const override;
+  PairGraph Build(std::vector<std::vector<double>> sims) const override;
 };
 
 /// §4.1 "Quicksort-Based Method": picks a pivot, splits the rest into parent
@@ -41,7 +50,7 @@ class QuickSortBuilder : public GraphBuilder {
  public:
   explicit QuickSortBuilder(uint64_t seed = 42) : seed_(seed) {}
   const char* name() const override { return "QuickSort"; }
-  PairGraph Build(const std::vector<std::vector<double>>& sims) const override;
+  PairGraph Build(std::vector<std::vector<double>> sims) const override;
 
  private:
   uint64_t seed_;
@@ -58,7 +67,7 @@ class RangeTreeBuilder : public GraphBuilder {
   explicit RangeTreeBuilder(int dim1 = -1, int dim2 = -1)
       : dim1_(dim1), dim2_(dim2) {}
   const char* name() const override { return "Index"; }
-  PairGraph Build(const std::vector<std::vector<double>>& sims) const override;
+  PairGraph Build(std::vector<std::vector<double>> sims) const override;
 
  private:
   int dim1_;
@@ -74,7 +83,7 @@ class RangeTreeBuilder : public GraphBuilder {
 class RangeTreeMdBuilder : public GraphBuilder {
  public:
   const char* name() const override { return "IndexMd"; }
-  PairGraph Build(const std::vector<std::vector<double>>& sims) const override;
+  PairGraph Build(std::vector<std::vector<double>> sims) const override;
 };
 
 }  // namespace power

@@ -1,11 +1,20 @@
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "graph/builder.h"
 #include "order/partial_order.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace power {
 namespace {
+
+// Minimum comparisons/emissions before a loop is worth sharding over the
+// pool; also the per-chunk work target. Small recursion levels stay inline.
+constexpr int64_t kParallelWork = 4096;
+// Elements per chunk when classifying a set against the pivot.
+constexpr int64_t kClassifyGrain = 1024;
 
 class QuickSortBuildState {
  public:
@@ -33,6 +42,82 @@ class QuickSortBuildState {
     }
   }
 
+  // All |rows| x |cols| edges row -> col. Sharded by row with per-chunk
+  // buffers appended in chunk order (edge order feeds DedupEdges, which
+  // sorts, so the final graph is thread-count independent either way).
+  void EmitCrossEdges(const std::vector<int>& rows,
+                      const std::vector<int>& cols) {
+    if (rows.empty() || cols.empty()) return;
+    const int64_t total =
+        static_cast<int64_t>(rows.size()) * static_cast<int64_t>(cols.size());
+    if (total < kParallelWork || NumThreads() <= 1) {
+      for (int r : rows) {
+        for (int c : cols) graph_->AddEdge(r, c);
+      }
+      return;
+    }
+    const int64_t grain =
+        std::max<int64_t>(1, kParallelWork / static_cast<int64_t>(cols.size()));
+    const int64_t n = static_cast<int64_t>(rows.size());
+    std::vector<std::vector<std::pair<int, int>>> edges(
+        NumChunks(0, n, grain));
+    ParallelForChunked(0, n, grain,
+                       [&](size_t chunk, int64_t begin, int64_t end) {
+                         auto& buf = edges[chunk];
+                         buf.reserve(static_cast<size_t>(end - begin) *
+                                     cols.size());
+                         for (int64_t i = begin; i < end; ++i) {
+                           for (int c : cols) buf.emplace_back(rows[i], c);
+                         }
+                       });
+    AppendEdges(edges);
+  }
+
+  // Direct comparison of every (row, col) pair straddling the incomparable
+  // set; same sharding scheme as EmitCrossEdges.
+  void EmitComparedEdges(const std::vector<int>& rows,
+                         const std::vector<int>& cols) {
+    if (rows.empty() || cols.empty()) return;
+    const int64_t total =
+        static_cast<int64_t>(rows.size()) * static_cast<int64_t>(cols.size());
+    if (total < kParallelWork || NumThreads() <= 1) {
+      for (int r : rows) {
+        for (int c : cols) Compare(r, c);
+      }
+      return;
+    }
+    const int64_t grain =
+        std::max<int64_t>(1, kParallelWork / static_cast<int64_t>(cols.size()));
+    const int64_t n = static_cast<int64_t>(rows.size());
+    std::vector<std::vector<std::pair<int, int>>> edges(
+        NumChunks(0, n, grain));
+    ParallelForChunked(
+        0, n, grain, [&](size_t chunk, int64_t begin, int64_t end) {
+          auto& buf = edges[chunk];
+          for (int64_t i = begin; i < end; ++i) {
+            for (int c : cols) {
+              switch (CompareDominance(sims_[rows[i]], sims_[c])) {
+                case DomOrder::kDominates:
+                  buf.emplace_back(rows[i], c);
+                  break;
+                case DomOrder::kDominatedBy:
+                  buf.emplace_back(c, rows[i]);
+                  break;
+                default:
+                  break;
+              }
+            }
+          }
+        });
+    AppendEdges(edges);
+  }
+
+  void AppendEdges(const std::vector<std::vector<std::pair<int, int>>>& edges) {
+    for (const auto& buf : edges) {
+      for (const auto& [parent, child] : buf) graph_->AddEdge(parent, child);
+    }
+  }
+
   void Recurse(const std::vector<int>& set) {
     if (set.size() <= 1) return;
     if (set.size() == 2) {
@@ -40,12 +125,25 @@ class QuickSortBuildState {
       return;
     }
     int pivot = set[rng_.UniformIndex(set.size())];
+    // Classify everything against the pivot. The pivot draw above happens
+    // before any parallel work and the partition below consumes `order` in
+    // input order, so the recursion structure — and with it the rng stream —
+    // is identical to the serial path at any thread count.
+    const int64_t k = static_cast<int64_t>(set.size());
+    std::vector<DomOrder> order(set.size());
+    ParallelFor(0, k, kClassifyGrain, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        if (set[i] == pivot) continue;  // skipped by the partition loop
+        order[i] = CompareDominance(sims_[set[i]], sims_[pivot]);
+      }
+    });
     std::vector<int> parents;   // ≻ pivot
     std::vector<int> children;  // pivot ≻
     std::vector<int> incomparable;
-    for (int v : set) {
+    for (size_t i = 0; i < set.size(); ++i) {
+      int v = set[i];
       if (v == pivot) continue;
-      switch (CompareDominance(sims_[v], sims_[pivot])) {
+      switch (order[i]) {
         case DomOrder::kDominates:
           parents.push_back(v);
           graph_->AddEdge(v, pivot);
@@ -61,17 +159,11 @@ class QuickSortBuildState {
     }
     // The quicksort saving: every parent dominates every child via the pivot,
     // so all |P| x |C| edges come without a vector comparison.
-    for (int p : parents) {
-      for (int c : children) graph_->AddEdge(p, c);
-    }
+    EmitCrossEdges(parents, children);
     // Pairs straddling the incomparable set are undetermined by the pivot;
     // resolve them directly (keeps the recursion duplicate-free; see header).
-    for (int p : parents) {
-      for (int u : incomparable) Compare(p, u);
-    }
-    for (int c : children) {
-      for (int u : incomparable) Compare(c, u);
-    }
+    EmitComparedEdges(parents, incomparable);
+    EmitComparedEdges(children, incomparable);
     Recurse(parents);
     Recurse(children);
     Recurse(incomparable);
@@ -84,10 +176,9 @@ class QuickSortBuildState {
 
 }  // namespace
 
-PairGraph QuickSortBuilder::Build(
-    const std::vector<std::vector<double>>& sims) const {
-  PairGraph graph{std::vector<std::vector<double>>(sims)};
-  QuickSortBuildState state(sims, &graph, seed_);
+PairGraph QuickSortBuilder::Build(std::vector<std::vector<double>> sims) const {
+  PairGraph graph{std::move(sims)};
+  QuickSortBuildState state(graph.all_sims(), &graph, seed_);
   state.Run();
   graph.DedupEdges();
   return graph;

@@ -1,13 +1,19 @@
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "graph/builder.h"
 #include "graph/range_tree.h"
 #include "order/partial_order.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace power {
 namespace {
+
+// Vertices per ParallelFor chunk of the query loop. Each query is
+// O(log^2 n + k), so chunks stay small enough for dynamic balancing.
+constexpr int64_t kQueryGrain = 64;
 
 // Picks the two attributes with the most distinct values: the most selective
 // dimensions make the 2-d index filter hardest (fewest false candidates to
@@ -32,16 +38,16 @@ std::pair<int, int> PickIndexDims(
 
 }  // namespace
 
-PairGraph RangeTreeBuilder::Build(
-    const std::vector<std::vector<double>>& sims) const {
-  PairGraph graph{std::vector<std::vector<double>>(sims)};
-  if (sims.empty()) return graph;
-  const size_t m = sims[0].size();
+PairGraph RangeTreeBuilder::Build(std::vector<std::vector<double>> sims) const {
+  PairGraph graph{std::move(sims)};
+  const std::vector<std::vector<double>>& s = graph.all_sims();
+  if (s.empty()) return graph;
+  const size_t m = s[0].size();
 
   int d1 = dim1_;
   int d2 = dim2_;
   if (d1 < 0 || d2 < 0) {
-    auto dims = PickIndexDims(sims);
+    auto dims = PickIndexDims(s);
     d1 = dims.first;
     d2 = dims.second;
   }
@@ -50,27 +56,40 @@ PairGraph RangeTreeBuilder::Build(
 
   RangeTree2d tree;
   std::vector<RangeTree2d::Point> points;
-  points.reserve(sims.size());
-  for (size_t v = 0; v < sims.size(); ++v) {
-    points.push_back({sims[v][static_cast<size_t>(d1)],
-                      sims[v][static_cast<size_t>(d2)],
+  points.reserve(s.size());
+  for (size_t v = 0; v < s.size(); ++v) {
+    points.push_back({s[v][static_cast<size_t>(d1)],
+                      s[v][static_cast<size_t>(d2)],
                       static_cast<int>(v)});
   }
   tree.Build(std::move(points));
 
   // For each vertex, report the candidates it weakly dominates on the two
   // indexed attributes, then verify strict dominance on the full vector.
-  std::vector<int> candidates;
-  for (size_t v = 0; v < sims.size(); ++v) {
-    candidates.clear();
-    tree.QueryDominated(sims[v][static_cast<size_t>(d1)],
-                        sims[v][static_cast<size_t>(d2)], &candidates);
-    for (int c : candidates) {
-      if (c == static_cast<int>(v)) continue;
-      if (StrictlyDominates(sims[v], sims[static_cast<size_t>(c)])) {
-        graph.AddEdge(static_cast<int>(v), c);
-      }
-    }
+  // Queries only read the tree, so the loop shards over the pool; per-chunk
+  // edge buffers keep the result thread-count independent.
+  const int64_t n = static_cast<int64_t>(s.size());
+  std::vector<std::vector<std::pair<int, int>>> edges(
+      NumChunks(0, n, kQueryGrain));
+  ParallelForChunked(
+      0, n, kQueryGrain, [&](size_t chunk, int64_t begin, int64_t end) {
+        auto& buf = edges[chunk];
+        std::vector<int> candidates;
+        for (int64_t v = begin; v < end; ++v) {
+          candidates.clear();
+          tree.QueryDominated(s[v][static_cast<size_t>(d1)],
+                              s[v][static_cast<size_t>(d2)], &candidates);
+          for (int c : candidates) {
+            if (c == static_cast<int>(v)) continue;
+            if (StrictlyDominates(s[static_cast<size_t>(v)],
+                                  s[static_cast<size_t>(c)])) {
+              buf.emplace_back(static_cast<int>(v), c);
+            }
+          }
+        }
+      });
+  for (const auto& buf : edges) {
+    for (const auto& [parent, child] : buf) graph.AddEdge(parent, child);
   }
   graph.DedupEdges();
   return graph;

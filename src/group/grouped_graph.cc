@@ -1,5 +1,7 @@
 #include "group/grouped_graph.h"
 
+#include <utility>
+
 #include "order/partial_order.h"
 
 namespace power {
@@ -31,10 +33,10 @@ GroupedGraph BuildGroupedGraph(std::vector<VertexGroup> groups) {
 }
 
 GroupedGraph BuildUngrouped(const GraphBuilder& builder,
-                            const std::vector<std::vector<double>>& sims) {
+                            std::vector<std::vector<double>> sims) {
   GroupedGraph out;
   out.groups = SingletonGroups(sims);
-  out.graph = builder.Build(sims);
+  out.graph = builder.Build(std::move(sims));
   return out;
 }
 

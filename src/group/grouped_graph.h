@@ -23,8 +23,9 @@ GroupedGraph BuildGroupedGraph(std::vector<VertexGroup> groups);
 
 /// Builds a grouped graph of singleton groups using a base-graph builder —
 /// the "non-grouping" configuration sharing the same downstream machinery.
+/// `sims` is moved into the built graph; pass std::move to avoid the copy.
 GroupedGraph BuildUngrouped(const GraphBuilder& builder,
-                            const std::vector<std::vector<double>>& sims);
+                            std::vector<std::vector<double>> sims);
 
 }  // namespace power
 

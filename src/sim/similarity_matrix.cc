@@ -5,6 +5,7 @@
 #include "sim/similarity.h"
 #include "sim/tokenizer.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace power {
 
@@ -29,11 +30,19 @@ SimilarPair ComputePairSimilarity(const Table& table, int i, int j,
 std::vector<SimilarPair> ComputePairSimilarities(
     const Table& table, const std::vector<std::pair<int, int>>& candidates,
     double component_floor) {
-  std::vector<SimilarPair> out;
-  out.reserve(candidates.size());
-  for (const auto& [i, j] : candidates) {
-    out.push_back(ComputePairSimilarity(table, i, j, component_floor));
-  }
+  // Each pair's vector is independent and lands in its own slot, so the loop
+  // shards over the pool; the output is positionally identical to the serial
+  // loop's at any thread count.
+  constexpr int64_t kPairGrain = 64;
+  std::vector<SimilarPair> out(candidates.size());
+  ParallelFor(0, static_cast<int64_t>(candidates.size()), kPairGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t p = begin; p < end; ++p) {
+                  const auto& [i, j] = candidates[static_cast<size_t>(p)];
+                  out[static_cast<size_t>(p)] =
+                      ComputePairSimilarity(table, i, j, component_floor);
+                }
+              });
   return out;
 }
 

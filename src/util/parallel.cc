@@ -1,0 +1,182 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace power {
+namespace {
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int EnvThreads() {
+  static const int cached = [] {
+    const char* s = std::getenv("POWER_THREADS");
+    if (s == nullptr) return 0;
+    int v = std::atoi(s);
+    return v > 0 ? v : 0;
+  }();
+  return cached;
+}
+
+// The SetNumThreads override; 0 = unset. Atomic so tests that flip thread
+// counts while a pool is alive stay race-free.
+std::atomic<int> g_override{0};
+
+// Depth of ParallelFor nesting on this thread. Nested parallel loops (e.g. a
+// builder invoked from inside a parallel region) run inline: the outer loop
+// already owns the pool's parallelism.
+thread_local int tls_parallel_depth = 0;
+
+// The global pool, sized NumThreads() - 1 and rebuilt when the target count
+// changes. shared_ptr keeps a pool alive for callers still inside Run()
+// while a concurrent caller swaps in a differently-sized one.
+std::shared_ptr<ThreadPool> GetPool(int num_threads) {
+  static std::mutex mu;
+  static std::shared_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!pool || pool->num_workers() != num_threads - 1) {
+    pool = std::make_shared<ThreadPool>(num_threads - 1);
+  }
+  return pool;
+}
+
+}  // namespace
+
+void SetNumThreads(int n) {
+  g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int NumThreads() {
+  int o = g_override.load(std::memory_order_relaxed);
+  if (o > 0) return o;
+  int e = EnvThreads();
+  return e > 0 ? e : HardwareThreads();
+}
+
+ScopedNumThreads::ScopedNumThreads(int n)
+    : saved_override_(g_override.load(std::memory_order_relaxed)),
+      active_(n > 0) {
+  if (active_) SetNumThreads(n);
+}
+
+ScopedNumThreads::~ScopedNumThreads() {
+  if (active_) g_override.store(saved_override_, std::memory_order_relaxed);
+}
+
+size_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) return 0;
+  if (grain < 1) grain = 1;
+  return static_cast<size_t>((end - begin + grain - 1) / grain);
+}
+
+void ParallelForChunked(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(size_t, int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const size_t chunks = NumChunks(begin, end, grain);
+  auto run_chunk = [&](size_t c) {
+    int64_t chunk_begin = begin + static_cast<int64_t>(c) * grain;
+    int64_t chunk_end = std::min(end, chunk_begin + grain);
+    fn(c, chunk_begin, chunk_end);
+  };
+  const int threads = NumThreads();
+  if (threads <= 1 || chunks <= 1 || tls_parallel_depth > 0) {
+    for (size_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+  std::shared_ptr<ThreadPool> pool = GetPool(threads);
+  pool->Run(chunks, [&run_chunk](size_t c) {
+    ++tls_parallel_depth;
+    run_chunk(c);
+    --tls_parallel_depth;
+  });
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForChunked(begin, end, grain,
+                     [&fn](size_t, int64_t chunk_begin, int64_t chunk_end) {
+                       fn(chunk_begin, chunk_end);
+                     });
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 0) num_workers = 0;
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    num_tasks_ = num_tasks;
+    done_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  WorkCurrentJob();  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return done_ == num_tasks_; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkCurrentJob() {
+  const std::function<void(size_t)>* task;
+  size_t num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task = task_;
+    num_tasks = num_tasks_;
+  }
+  // task_ is only reset after every task finished, and a claim below
+  // succeeding implies unfinished tasks remain — so *task stays valid for
+  // as long as this loop dereferences it.
+  if (task == nullptr) return;
+  size_t ran = 0;
+  size_t i;
+  while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < num_tasks) {
+    (*task)(i);
+    ++ran;
+  }
+  if (ran > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ += ran;
+    if (done_ == num_tasks_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (epoch_ != seen_epoch && task_); });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    WorkCurrentJob();
+  }
+}
+
+}  // namespace power

@@ -1,0 +1,119 @@
+#ifndef POWER_UTIL_PARALLEL_H_
+#define POWER_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace power {
+
+/// Parallel substrate for the preprocessing hot paths (similarity vectors,
+/// candidate generation, dominance-graph construction). Design invariants:
+///
+///  * Determinism: every parallel loop in the library shards its input into
+///    chunks whose boundaries depend only on (begin, end, grain) — never on
+///    the thread count — and merges per-chunk outputs in chunk order. The
+///    final result of any library call is therefore identical at 1, 2, or N
+///    threads (the differential tests enforce this bit-for-bit).
+///  * num_threads == 1 is the exact serial path: ParallelFor degenerates to
+///    an inline loop on the calling thread with no pool interaction.
+///  * No work stealing: workers claim whole chunks from a shared atomic
+///    cursor; a chunk runs on exactly one thread.
+
+/// Overrides the global thread count. n <= 0 clears the override and
+/// restores the default (POWER_THREADS env var, else hardware concurrency).
+void SetNumThreads(int n);
+
+/// The thread count ParallelFor will use. Resolution order: the last
+/// SetNumThreads(n > 0) call, else the POWER_THREADS environment variable,
+/// else std::thread::hardware_concurrency() (min 1).
+int NumThreads();
+
+/// RAII override of the global thread count for one scope. n <= 0 leaves
+/// the current setting untouched (used to plumb PowerConfig::num_threads,
+/// where 0 means "keep the process default").
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n);
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_override_;
+  bool active_;
+};
+
+/// Number of chunks ParallelFor splits [begin, end) into: one per `grain`
+/// iterations (grain < 1 is treated as 1). Depends only on the arguments,
+/// never on the thread count.
+size_t NumChunks(int64_t begin, int64_t end, int64_t grain);
+
+/// Runs fn(chunk_begin, chunk_end) for every grain-sized chunk of
+/// [begin, end). Chunks may execute concurrently (and in any order) on the
+/// global pool; the calling thread participates. With NumThreads() == 1, a
+/// single chunk, or when already inside a ParallelFor task, everything runs
+/// inline on the calling thread in ascending order. fn must not throw.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Like ParallelFor, but fn also receives the chunk index
+/// (fn(chunk, chunk_begin, chunk_end)). Callers that emit variable-length
+/// output write into a per-chunk buffer indexed by `chunk` and concatenate
+/// the buffers in chunk order afterwards — yielding output identical to the
+/// serial loop's, independent of thread scheduling.
+void ParallelForChunked(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(size_t, int64_t, int64_t)>& fn);
+
+/// The pool behind ParallelFor: a fixed set of persistent workers that claim
+/// task indices from a shared cursor (no work-stealing deques). Exposed for
+/// later subsystems (parallel selectors, sharded grouping) that need task
+/// shapes ParallelFor does not cover.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` background threads (the thread calling Run
+  /// participates too, so total parallelism is num_workers + 1).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Invokes task(i) exactly once for every i in [0, num_tasks), distributing
+  /// indices over the workers and the calling thread; returns when all tasks
+  /// have finished. One job runs at a time; concurrent callers queue on an
+  /// internal mutex. task must not throw.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& task);
+
+ private:
+  void WorkerLoop();
+  // Claims and runs tasks of the current job (if any), then returns.
+  void WorkCurrentJob();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mu_;  // serializes Run() callers
+
+  std::mutex mu_;  // guards the job fields below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t num_tasks_ = 0;
+  size_t done_ = 0;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+
+  std::atomic<size_t> next_{0};  // next unclaimed task index
+};
+
+}  // namespace power
+
+#endif  // POWER_UTIL_PARALLEL_H_

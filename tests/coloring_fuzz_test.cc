@@ -5,6 +5,7 @@
 
 #include "graph/builder.h"
 #include "graph/coloring.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace power {
@@ -125,6 +126,87 @@ TEST(ColoringFuzzTest, RandomAnswerSequencesKeepInvariants) {
       state.ApplyAnswer(v, rng.Bernoulli(0.5));
     }
     EXPECT_TRUE(state.AllColored()) << "trial " << trial;
+  }
+}
+
+// §3.3 propagation on graphs built by the *parallel* builders: a YES colors
+// the asked vertex and every ancestor GREEN; a NO colors it and every
+// descendant RED; nothing else moves. Run on all parallelized builder kinds
+// at 8 threads — if a parallel builder dropped or fabricated a dominance
+// edge, propagation would miss an ancestor/descendant here.
+TEST(ColoringFuzzTest, ParallelBuiltGraphsKeepPropagationInvariants) {
+  ScopedNumThreads scope(8);
+  Rng rng(90210);
+  const BruteForceBuilder brute;
+  const QuickSortBuilder quick(17);
+  const RangeTreeBuilder index;
+  const RangeTreeMdBuilder index_md;
+  const GraphBuilder* builders[] = {&brute, &quick, &index, &index_md};
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 20 + rng.UniformIndex(40);
+    auto sims = RandomSims(rng, n, 2 + rng.UniformIndex(3));
+    for (const GraphBuilder* builder : builders) {
+      PairGraph graph = builder->Build(sims);
+      int v = static_cast<int>(rng.UniformIndex(n));
+      bool yes = rng.Bernoulli(0.5);
+      ColoringState state(&graph);
+      state.ApplyAnswer(v, yes);
+      EXPECT_EQ(state.color(v), yes ? Color::kGreen : Color::kRed)
+          << builder->name();
+      auto ancestors = graph.Ancestors(v);
+      auto descendants = graph.Descendants(v);
+      for (int a : ancestors) {
+        EXPECT_EQ(state.color(a), yes ? Color::kGreen : Color::kUncolored)
+            << builder->name() << " ancestor " << a << " of " << v;
+      }
+      for (int d : descendants) {
+        EXPECT_EQ(state.color(d), yes ? Color::kUncolored : Color::kRed)
+            << builder->name() << " descendant " << d << " of " << v;
+      }
+      for (size_t u = 0; u < n; ++u) {
+        int ui = static_cast<int>(u);
+        if (ui == v) continue;
+        bool related =
+            std::find(ancestors.begin(), ancestors.end(), ui) !=
+                ancestors.end() ||
+            std::find(descendants.begin(), descendants.end(), ui) !=
+                descendants.end();
+        if (!related) {
+          EXPECT_EQ(state.color(ui), Color::kUncolored)
+              << builder->name() << " incomparable vertex " << ui;
+        }
+      }
+    }
+  }
+}
+
+// Random answer interleavings on parallel-built graphs must satisfy the same
+// step-by-step invariants the serial seed graphs do (CheckInvariants above),
+// for every parallelized builder kind.
+TEST(ColoringFuzzTest, RandomAnswersOnParallelBuiltGraphsKeepInvariants) {
+  ScopedNumThreads scope(8);
+  Rng rng(60601);
+  const QuickSortBuilder quick(23);
+  const RangeTreeBuilder index;
+  const RangeTreeMdBuilder index_md;
+  const GraphBuilder* builders[] = {&quick, &index, &index_md};
+  for (int trial = 0; trial < 12; ++trial) {
+    size_t n = 10 + rng.UniformIndex(30);
+    auto sims = RandomSims(rng, n, 2 + rng.UniformIndex(2));
+    for (const GraphBuilder* builder : builders) {
+      PairGraph graph = builder->Build(sims);
+      ColoringState state(&graph);
+      std::vector<int> asked_green;
+      std::vector<int> asked_red;
+      for (size_t op = 0; op < n; ++op) {
+        int v = static_cast<int>(rng.UniformIndex(n));
+        if (state.asked(v)) continue;
+        bool match = rng.Bernoulli(0.5);
+        state.ApplyAnswer(v, match);
+        (match ? asked_green : asked_red).push_back(v);
+        CheckInvariants(graph, state, asked_green, asked_red, {}, {});
+      }
+    }
   }
 }
 

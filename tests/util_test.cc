@@ -1,9 +1,12 @@
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -150,6 +153,118 @@ TEST(StringsTest, StartsWith) {
   EXPECT_TRUE(StartsWith("hello world", "hello"));
   EXPECT_TRUE(StartsWith("x", ""));
   EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(ParallelTest, NumChunksMath) {
+  EXPECT_EQ(NumChunks(0, 0, 4), 0u);
+  EXPECT_EQ(NumChunks(0, 1, 4), 1u);
+  EXPECT_EQ(NumChunks(0, 4, 4), 1u);
+  EXPECT_EQ(NumChunks(0, 5, 4), 2u);
+  EXPECT_EQ(NumChunks(3, 11, 2), 4u);
+  EXPECT_EQ(NumChunks(0, 10, 0), 10u);  // grain < 1 treated as 1
+  EXPECT_EQ(NumChunks(5, 3, 1), 0u);    // empty range
+}
+
+TEST(ParallelTest, ScopedNumThreadsOverridesAndRestores) {
+  int before = NumThreads();
+  {
+    ScopedNumThreads scope(3);
+    EXPECT_EQ(NumThreads(), 3);
+    {
+      ScopedNumThreads inner(1);
+      EXPECT_EQ(NumThreads(), 1);
+      ScopedNumThreads noop(0);  // 0 = keep current
+      EXPECT_EQ(NumThreads(), 1);
+    }
+    EXPECT_EQ(NumThreads(), 3);
+  }
+  EXPECT_EQ(NumThreads(), before);
+}
+
+TEST(ParallelTest, EveryIndexVisitedExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ScopedNumThreads scope(threads);
+    for (int64_t n : {0, 1, 7, 64, 1000}) {
+      std::vector<std::atomic<int>> visits(static_cast<size_t>(n));
+      for (auto& v : visits) v.store(0);
+      ParallelFor(0, n, 13, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          visits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto layout_at = [](int threads) {
+    ScopedNumThreads scope(threads);
+    std::vector<std::pair<int64_t, int64_t>> layout(NumChunks(5, 100, 7));
+    ParallelForChunked(5, 100, 7,
+                       [&](size_t chunk, int64_t begin, int64_t end) {
+                         layout[chunk] = {begin, end};
+                       });
+    return layout;
+  };
+  auto serial = layout_at(1);
+  EXPECT_EQ(serial.front().first, 5);
+  EXPECT_EQ(serial.back().second, 100);
+  for (size_t c = 1; c < serial.size(); ++c) {
+    EXPECT_EQ(serial[c].first, serial[c - 1].second);
+  }
+  EXPECT_EQ(layout_at(2), serial);
+  EXPECT_EQ(layout_at(8), serial);
+}
+
+TEST(ParallelTest, NestedParallelForRunsInline) {
+  ScopedNumThreads scope(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 16, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      // The inner loop must not deadlock on the pool; it runs inline.
+      ParallelFor(0, 10, 2, [&](int64_t b, int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 160);
+}
+
+TEST(ParallelTest, ThreadPoolRunsEveryTaskAcrossReuse) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  for (int round = 0; round < 20; ++round) {
+    size_t tasks = static_cast<size_t>(1 + (round * 37) % 100);
+    std::vector<std::atomic<int>> hits(tasks);
+    for (auto& h : hits) h.store(0);
+    pool.Run(tasks, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < tasks; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "round=" << round << " task=" << i;
+    }
+  }
+}
+
+TEST(ParallelTest, ParallelSumMatchesSerial) {
+  std::vector<int64_t> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  int64_t expected = std::accumulate(values.begin(), values.end(), int64_t{0});
+  for (int threads : {1, 2, 8}) {
+    ScopedNumThreads scope(threads);
+    size_t chunks = NumChunks(0, static_cast<int64_t>(values.size()), 256);
+    std::vector<int64_t> partial(chunks, 0);
+    ParallelForChunked(0, static_cast<int64_t>(values.size()), 256,
+                       [&](size_t chunk, int64_t begin, int64_t end) {
+                         for (int64_t i = begin; i < end; ++i) {
+                           partial[chunk] += values[static_cast<size_t>(i)];
+                         }
+                       });
+    int64_t total = std::accumulate(partial.begin(), partial.end(), int64_t{0});
+    EXPECT_EQ(total, expected) << "threads=" << threads;
+  }
 }
 
 }  // namespace
