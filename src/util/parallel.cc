@@ -1,6 +1,7 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 #include <memory>
 
@@ -30,6 +31,10 @@ std::atomic<int> g_override{0};
 // builder invoked from inside a parallel region) run inline: the outer loop
 // already owns the pool's parallelism.
 thread_local int tls_parallel_depth = 0;
+
+// True while this thread is executing tasks of a ThreadPool job; used to
+// assert against re-entrant ThreadPool::Run, which would self-deadlock.
+thread_local bool tls_in_pool_task = false;
 
 // The global pool, sized NumThreads() - 1 and rebuilt when the target count
 // changes. shared_ptr keeps a pool alive for callers still inside Run()
@@ -85,7 +90,10 @@ void ParallelForChunked(
     fn(c, chunk_begin, chunk_end);
   };
   const int threads = NumThreads();
-  if (threads <= 1 || chunks <= 1 || tls_parallel_depth > 0) {
+  // Run inline when nested in a ParallelFor chunk or any pool task: the
+  // pool's parallelism is already owned, and re-entering Run would deadlock.
+  if (threads <= 1 || chunks <= 1 || tls_parallel_depth > 0 ||
+      tls_in_pool_task) {
     for (size_t c = 0; c < chunks; ++c) run_chunk(c);
     return;
   }
@@ -124,58 +132,64 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& task) {
   if (num_tasks == 0) return;
+  // Re-entrant Run (from inside a task on this pool) would self-deadlock on
+  // job_mu_: the outer job cannot finish while its task blocks here.
+  assert(!tls_in_pool_task &&
+         "ThreadPool::Run must not be called from inside a pool task");
   std::lock_guard<std::mutex> job_lock(job_mu_);
+  auto job = std::make_shared<Job>();
+  job->task = &task;
+  job->num_tasks = num_tasks;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    task_ = &task;
-    num_tasks_ = num_tasks;
-    done_ = 0;
-    next_.store(0, std::memory_order_relaxed);
+    job_ = job;
     ++epoch_;
   }
   work_cv_.notify_all();
-  WorkCurrentJob();  // the caller participates
+  WorkJob(*job);  // the caller participates
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return done_ == num_tasks_; });
-  task_ = nullptr;
+  done_cv_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) >= num_tasks;
+  });
+  job_ = nullptr;
+  // `job` (and with it the validity window of job->task, which points at the
+  // caller's function) ends here; a worker still holding this Job sees an
+  // exhausted cursor and never dereferences task again.
 }
 
-void ThreadPool::WorkCurrentJob() {
-  const std::function<void(size_t)>* task;
-  size_t num_tasks;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    task = task_;
-    num_tasks = num_tasks_;
-  }
-  // task_ is only reset after every task finished, and a claim below
-  // succeeding implies unfinished tasks remain — so *task stays valid for
-  // as long as this loop dereferences it.
-  if (task == nullptr) return;
+void ThreadPool::WorkJob(Job& job) {
   size_t ran = 0;
   size_t i;
-  while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < num_tasks) {
-    (*task)(i);
+  tls_in_pool_task = true;
+  while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
+         job.num_tasks) {
+    (*job.task)(i);
     ++ran;
   }
-  if (ran > 0) {
+  tls_in_pool_task = false;
+  if (ran > 0 &&
+      job.done.fetch_add(ran, std::memory_order_acq_rel) + ran >=
+          job.num_tasks) {
+    // Lock so the notify cannot slip between the waiter's predicate check
+    // and its wait.
     std::lock_guard<std::mutex> lock(mu_);
-    done_ += ran;
-    if (done_ == num_tasks_) done_cv_.notify_all();
+    done_cv_.notify_all();
   }
 }
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   for (;;) {
+    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
-                    [&] { return stop_ || (epoch_ != seen_epoch && task_); });
+                    [&] { return stop_ || (epoch_ != seen_epoch && job_); });
       if (stop_) return;
       seen_epoch = epoch_;
+      job = job_;
     }
-    WorkCurrentJob();
+    WorkJob(*job);
   }
 }
 

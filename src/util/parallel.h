@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,6 +38,12 @@ int NumThreads();
 /// RAII override of the global thread count for one scope. n <= 0 leaves
 /// the current setting untouched (used to plumb PowerConfig::num_threads,
 /// where 0 means "keep the process default").
+///
+/// The override is process-global: two concurrent pipelines using different
+/// num_threads race on it, so the effective parallelism of each is
+/// unpredictable (results are unaffected — every library result is
+/// thread-count-invariant). Run concurrent pipelines with the same
+/// num_threads, or leave both at the process default.
 class ScopedNumThreads {
  public:
   explicit ScopedNumThreads(int n);
@@ -89,29 +96,39 @@ class ThreadPool {
 
   /// Invokes task(i) exactly once for every i in [0, num_tasks), distributing
   /// indices over the workers and the calling thread; returns when all tasks
-  /// have finished. One job runs at a time; concurrent callers queue on an
-  /// internal mutex. task must not throw.
+  /// have finished. One job runs at a time; concurrent callers (on distinct
+  /// threads) queue on an internal mutex. Run must NOT be called from inside
+  /// a task running on this pool — doing so self-deadlocks on the job mutex
+  /// (asserted in debug builds; ParallelFor guards against this itself by
+  /// running nested loops inline). task must not throw.
   void Run(size_t num_tasks, const std::function<void(size_t)>& task);
 
  private:
+  // Per-job state. Each Run() allocates a fresh Job so a worker that stalls
+  // holding a snapshot of a drained job can never claim indices from — or
+  // touch the task of — a later job: its stale cursor is already exhausted,
+  // and the shared_ptr keeps the (inert) Job alive until it notices.
+  struct Job {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t num_tasks = 0;
+    std::atomic<size_t> next{0};  // next unclaimed task index
+    std::atomic<size_t> done{0};  // tasks finished
+  };
+
   void WorkerLoop();
-  // Claims and runs tasks of the current job (if any), then returns.
-  void WorkCurrentJob();
+  // Claims and runs tasks of `job` until its cursor is exhausted.
+  void WorkJob(Job& job);
 
   std::vector<std::thread> workers_;
 
   std::mutex job_mu_;  // serializes Run() callers
 
-  std::mutex mu_;  // guards the job fields below
+  std::mutex mu_;  // guards the fields below
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(size_t)>* task_ = nullptr;
-  size_t num_tasks_ = 0;
-  size_t done_ = 0;
+  std::shared_ptr<Job> job_;
   uint64_t epoch_ = 0;
   bool stop_ = false;
-
-  std::atomic<size_t> next_{0};  // next unclaimed task index
 };
 
 }  // namespace power

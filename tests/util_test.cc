@@ -1,5 +1,7 @@
 #include <algorithm>
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -244,6 +246,32 @@ TEST(ParallelTest, ThreadPoolRunsEveryTaskAcrossReuse) {
     pool.Run(tasks, [&](size_t i) { hits[i].fetch_add(1); });
     for (size_t i = 0; i < tasks; ++i) {
       EXPECT_EQ(hits[i].load(), 1) << "round=" << round << " task=" << i;
+    }
+  }
+}
+
+// Regression test for the cross-job race: a worker that wakes late for job N
+// (after N drained and its std::function was destroyed) must not claim
+// indices from — or invoke the stale function of — the next job. Many tiny
+// back-to-back jobs maximize the window where a worker still holds the
+// previous job's state when the next one starts; each job uses a distinct
+// heap-allocated functor so a stale dereference is a TSan/ASan-visible
+// use-after-free, and the per-job hit counts catch stolen indices.
+TEST(ParallelTest, BackToBackJobsNeverLeakAcrossJobs) {
+  ThreadPool pool(7);
+  for (int round = 0; round < 2000; ++round) {
+    size_t tasks = static_cast<size_t>(1 + round % 3);
+    auto hits = std::make_unique<std::atomic<int>[]>(tasks);
+    for (size_t i = 0; i < tasks; ++i) hits[i].store(0);
+    auto fn = std::make_unique<std::function<void(size_t)>>(
+        [&hits, tasks](size_t i) {
+          ASSERT_LT(i, tasks);
+          hits[i].fetch_add(1);
+        });
+    pool.Run(tasks, *fn);
+    fn.reset();  // the function dies the moment Run returns, as in ParallelFor
+    for (size_t i = 0; i < tasks; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round=" << round << " task=" << i;
     }
   }
 }
