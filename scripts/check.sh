@@ -21,9 +21,11 @@ esac
 
 # The parallel harness: differential (parallel output == serial output),
 # determinism (PowerResult independent of num_threads), the coloring fuzz
-# suite on parallel-built graphs, and the ParallelFor/ThreadPool unit tests.
+# suite on parallel-built graphs, the ParallelFor/ThreadPool unit tests, and
+# the selection-loop trace suite (incremental ask-and-color loop == legacy
+# scan-based reference at 1/2/8 threads, over the parallel CSR freeze).
 # ctest filters by gtest-discovered *test* names, not binary names.
-PARALLEL_TESTS='Parallel|ColoringFuzz'
+PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop'
 
 if [[ "$RUN_MAIN" == 1 ]]; then
   echo "== build (default flags) =="

@@ -97,8 +97,10 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
   if (config_.grouping == GroupingKind::kNone) {
     result.grouping_seconds = 0.0;
     Stopwatch graph_watch;
+    // The graph takes ownership of the one local copy; the pair sims are
+    // read back through grouped.graph.all_sims() below.
     grouped = BuildUngrouped(*MakeBuilder(config_.builder, rng.Fork()),
-                             std::vector<std::vector<double>>(sims));
+                             std::move(sims));
     result.graph_seconds = graph_watch.ElapsedSeconds();
   } else {
     std::unique_ptr<Grouper> grouper;
@@ -115,6 +117,12 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
   }
   result.num_groups = grouped.groups.size();
   result.num_edges = grouped.graph.num_edges();
+  // Per-pair similarity vectors for the Power+ histogram pass: the ungrouped
+  // path moved them into the graph (whose vertices are the pairs); the
+  // grouped path keeps the local copy (the graph holds group midpoints).
+  const std::vector<std::vector<double>>& pair_sims =
+      config_.grouping == GroupingKind::kNone ? grouped.graph.all_sims()
+                                              : sims;
 
   // 2. Ask-and-color loop (Algorithm 1 driving a §5 selector; Algorithm 5's
   //    confidence gate when error_tolerant).
@@ -181,7 +189,7 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
   if ((config_.error_tolerant && result.num_blue_groups > 0) ||
       result.budget_exhausted) {
     for (const auto& [v, color] :
-         ResolveBlueVertices(grouped, state, sims, config_.tolerance)) {
+         ResolveBlueVertices(grouped, state, pair_sims, config_.tolerance)) {
       if (color == Color::kGreen) {
         result.matched_pairs.insert(PairKey(pairs[v].i, pairs[v].j));
       }

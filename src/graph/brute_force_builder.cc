@@ -48,9 +48,7 @@ PairGraph BruteForceBuilder::Build(std::vector<std::vector<double>> sims) const 
                          }
                        }
                      });
-  for (const auto& buf : edges) {
-    for (const auto& [parent, child] : buf) graph.AddEdge(parent, child);
-  }
+  graph.AddEdgeChunks(std::move(edges));
   graph.DedupEdges();
   return graph;
 }

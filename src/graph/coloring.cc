@@ -1,8 +1,16 @@
 #include "graph/coloring.h"
 
+#include <atomic>
+#include <bit>
+
 #include "util/check.h"
 
 namespace power {
+namespace {
+
+std::atomic<uint64_t> g_next_state_id{1};
+
+}  // namespace
 
 const char* ColorName(Color c) {
   switch (c) {
@@ -20,11 +28,22 @@ const char* ColorName(Color c) {
 
 ColoringState::ColoringState(const PairGraph* graph)
     : graph_(graph),
+      state_id_(g_next_state_id.fetch_add(1, std::memory_order_relaxed)),
       color_(graph->num_vertices(), Color::kUncolored),
       asked_(graph->num_vertices(), false),
       forced_(graph->num_vertices(), false),
       green_votes_(graph->num_vertices(), 0),
-      red_votes_(graph->num_vertices(), 0) {}
+      red_votes_(graph->num_vertices(), 0),
+      uncolored_((graph->num_vertices() + 63) / 64, ~uint64_t{0}),
+      visit_mark_(graph->num_vertices(), 0) {
+  POWER_CHECK_MSG(graph->frozen() || graph->num_vertices() == 0,
+                  "ColoringState requires a frozen graph");
+  const size_t n = graph->num_vertices();
+  counts_[ColorIndex(Color::kUncolored)] = n;
+  if (n % 64 != 0 && !uncolored_.empty()) {
+    uncolored_.back() = (uint64_t{1} << (n % 64)) - 1;  // mask the tail
+  }
+}
 
 Color ColoringState::color(int v) const {
   POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
@@ -36,74 +55,107 @@ bool ColoringState::asked(int v) const {
   return asked_[v];
 }
 
+bool ColoringState::IsUncolored(int v) const {
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
+  return color_[v] == Color::kUncolored;
+}
+
 std::vector<int> ColoringState::UncoloredVertices() const {
   std::vector<int> out;
-  for (size_t v = 0; v < color_.size(); ++v) {
-    if (color_[v] == Color::kUncolored) out.push_back(static_cast<int>(v));
+  out.reserve(num_uncolored());
+  for (size_t w = 0; w < uncolored_.size(); ++w) {
+    uint64_t bits = uncolored_[w];
+    while (bits != 0) {
+      int bit = std::countr_zero(bits);
+      out.push_back(static_cast<int>(w * 64) + bit);
+      bits &= bits - 1;
+    }
   }
   return out;
 }
 
-size_t ColoringState::num_uncolored() const {
-  size_t n = 0;
-  for (Color c : color_) {
-    if (c == Color::kUncolored) ++n;
+void ColoringState::FillUncoloredMask(std::vector<bool>* mask) const {
+  mask->assign(color_.size(), false);
+  for (size_t w = 0; w < uncolored_.size(); ++w) {
+    uint64_t bits = uncolored_[w];
+    while (bits != 0) {
+      int bit = std::countr_zero(bits);
+      (*mask)[w * 64 + static_cast<size_t>(bit)] = true;
+      bits &= bits - 1;
+    }
   }
-  return n;
 }
 
-bool ColoringState::AllColored() const { return num_uncolored() == 0; }
+void ColoringState::SetColor(int v, Color c) {
+  Color old = color_[v];
+  if (old == c) return;
+  --counts_[ColorIndex(old)];
+  ++counts_[ColorIndex(c)];
+  if (old == Color::kUncolored) {
+    uncolored_[static_cast<size_t>(v) / 64] &=
+        ~(uint64_t{1} << (static_cast<size_t>(v) % 64));
+  } else if (c == Color::kUncolored) {
+    uncolored_[static_cast<size_t>(v) / 64] |=
+        uint64_t{1} << (static_cast<size_t>(v) % 64);
+  }
+  color_[v] = c;
+  journal_.push_back(v);
+}
 
 void ColoringState::Recompute(int v) {
   // Asked / forced vertices keep their color; only deduced colors float with
   // the vote balance.
   if (asked_[v] || forced_[v]) return;
   if (green_votes_[v] > red_votes_[v]) {
-    color_[v] = Color::kGreen;
+    SetColor(v, Color::kGreen);
   } else if (red_votes_[v] > green_votes_[v]) {
-    color_[v] = Color::kRed;
+    SetColor(v, Color::kRed);
   } else {
     // No votes, or a conflict tie (§5.3.1): the vertex stays askable.
-    color_[v] = Color::kUncolored;
+    SetColor(v, Color::kUncolored);
+  }
+}
+
+void ColoringState::PropagateVotes(int v, bool match) {
+  ++visit_epoch_;
+  visit_mark_[v] = visit_epoch_;
+  bfs_queue_.clear();
+  bfs_queue_.push_back(v);
+  size_t head = 0;
+  while (head < bfs_queue_.size()) {
+    int u = bfs_queue_[head++];
+    for (int w : match ? graph_->parents(u) : graph_->children(u)) {
+      if (visit_mark_[w] == visit_epoch_) continue;
+      visit_mark_[w] = visit_epoch_;
+      if (match) {
+        ++green_votes_[w];
+      } else {
+        ++red_votes_[w];
+      }
+      Recompute(w);
+      bfs_queue_.push_back(w);
+    }
   }
 }
 
 void ColoringState::ApplyAnswer(int v, bool match, bool propagate) {
   POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
   asked_[v] = true;
-  color_[v] = match ? Color::kGreen : Color::kRed;
+  SetColor(v, match ? Color::kGreen : Color::kRed);
   if (!propagate) return;
-  if (match) {
-    for (int a : graph_->Ancestors(v)) {
-      ++green_votes_[a];
-      Recompute(a);
-    }
-  } else {
-    for (int d : graph_->Descendants(v)) {
-      ++red_votes_[d];
-      Recompute(d);
-    }
-  }
+  PropagateVotes(v, match);
 }
 
 void ColoringState::MarkBlue(int v) {
   POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
   asked_[v] = true;
-  color_[v] = Color::kBlue;
+  SetColor(v, Color::kBlue);
 }
 
 void ColoringState::ForceColor(int v, Color c) {
   POWER_CHECK(v >= 0 && static_cast<size_t>(v) < color_.size());
-  color_[v] = c;
+  SetColor(v, c);
   forced_[v] = true;
-}
-
-size_t ColoringState::CountColor(Color c) const {
-  size_t n = 0;
-  for (Color x : color_) {
-    if (x == c) ++n;
-  }
-  return n;
 }
 
 std::vector<int> ColoringState::VerticesWithColor(Color c) const {

@@ -1,65 +1,158 @@
 #include "graph/pair_graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace power {
+namespace {
+
+// Edges per chunk in the counting / scatter passes of the CSR freeze.
+constexpr int64_t kEdgeGrain = 8192;
+// Vertices per chunk in the per-vertex sort / dedup passes. Degrees vary
+// wildly on closure graphs, so chunks are small and claimed dynamically.
+constexpr int64_t kVertexGrain = 32;
+
+}  // namespace
 
 PairGraph::PairGraph(std::vector<std::vector<double>> sims)
-    : sims_(std::move(sims)),
-      children_(sims_.size()),
-      parents_(sims_.size()) {}
+    : sims_(std::move(sims)) {}
 
 const std::vector<double>& PairGraph::sims(int v) const {
   POWER_CHECK(v >= 0 && static_cast<size_t>(v) < sims_.size());
   return sims_[v];
 }
 
+void PairGraph::CheckFrozenVertex(int v) const {
+  POWER_CHECK_MSG(frozen_, "adjacency requires a frozen graph (DedupEdges)");
+  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < sims_.size());
+}
+
 void PairGraph::AddEdge(int parent, int child) {
+  POWER_CHECK_MSG(!frozen_, "PairGraph is frozen; no further edges");
   POWER_CHECK(parent >= 0 && static_cast<size_t>(parent) < sims_.size());
   POWER_CHECK(child >= 0 && static_cast<size_t>(child) < sims_.size());
   POWER_CHECK(parent != child);
-  children_[parent].push_back(child);
-  parents_[child].push_back(parent);
-  ++num_edges_;
+  pending_.emplace_back(parent, child);
 }
 
-const std::vector<int>& PairGraph::children(int v) const {
-  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < children_.size());
-  return children_[v];
+void PairGraph::AddEdgeChunks(
+    std::vector<std::vector<std::pair<int, int>>> chunks) {
+  POWER_CHECK_MSG(!frozen_, "PairGraph is frozen; no further edges");
+  const size_t base = pending_.size();
+  std::vector<size_t> offsets(chunks.size());
+  size_t total = base;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    offsets[i] = total;
+    total += chunks[i].size();
+  }
+  pending_.resize(total);
+  const int n = static_cast<int>(sims_.size());
+  ParallelFor(0, static_cast<int64_t>(chunks.size()), 1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  size_t pos = offsets[i];
+                  for (const auto& [parent, child] : chunks[i]) {
+                    POWER_CHECK(parent >= 0 && parent < n);
+                    POWER_CHECK(child >= 0 && child < n);
+                    POWER_CHECK(parent != child);
+                    pending_[pos++] = {parent, child};
+                  }
+                }
+              });
 }
 
-const std::vector<int>& PairGraph::parents(int v) const {
-  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < parents_.size());
-  return parents_[v];
+void PairGraph::BuildCsrSide(bool keyed_by_parent,
+                             std::vector<int64_t>* offsets,
+                             std::vector<int>* edges) const {
+  const size_t n = sims_.size();
+  const int64_t num_pending = static_cast<int64_t>(pending_.size());
+
+  // Pass 1: per-vertex degree counts. Relaxed atomic increments — addition
+  // commutes, so the totals are thread-count independent.
+  std::unique_ptr<std::atomic<int64_t>[]> counts(new std::atomic<int64_t>[n]());
+  ParallelFor(0, num_pending, kEdgeGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const auto& [p, c] = pending_[i];
+      counts[keyed_by_parent ? p : c].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<int64_t> raw_off(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    raw_off[v + 1] = raw_off[v] + counts[v].load(std::memory_order_relaxed);
+    counts[v].store(0, std::memory_order_relaxed);  // becomes scatter cursor
+  }
+
+  // Pass 2: scatter targets into per-vertex ranges. The order within a range
+  // is scheduling-dependent, but pass 3 sorts every range, so the frozen
+  // result is deterministic.
+  std::vector<int> raw(static_cast<size_t>(num_pending));
+  ParallelFor(0, num_pending, kEdgeGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const auto& [p, c] = pending_[i];
+      int key = keyed_by_parent ? p : c;
+      int64_t pos =
+          raw_off[key] + counts[key].fetch_add(1, std::memory_order_relaxed);
+      raw[static_cast<size_t>(pos)] = keyed_by_parent ? c : p;
+    }
+  });
+
+  // Pass 3: sort + count unique per vertex (dedup sizes reuse `counts`).
+  ParallelFor(0, static_cast<int64_t>(n), kVertexGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t v = begin; v < end; ++v) {
+                  auto* first = raw.data() + raw_off[v];
+                  auto* last = raw.data() + raw_off[v + 1];
+                  std::sort(first, last);
+                  auto* tail = std::unique(first, last);
+                  counts[v].store(tail - first, std::memory_order_relaxed);
+                }
+              });
+
+  // Final offsets + compaction into the frozen arrays.
+  offsets->assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    (*offsets)[v + 1] =
+        (*offsets)[v] + counts[v].load(std::memory_order_relaxed);
+  }
+  edges->assign(static_cast<size_t>((*offsets)[n]), 0);
+  ParallelFor(0, static_cast<int64_t>(n), kVertexGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t v = begin; v < end; ++v) {
+                  std::copy_n(raw.data() + raw_off[v],
+                              (*offsets)[v + 1] - (*offsets)[v],
+                              edges->data() + (*offsets)[v]);
+                }
+              });
 }
 
 void PairGraph::DedupEdges() {
-  num_edges_ = 0;
-  for (auto& adj : children_) {
-    std::sort(adj.begin(), adj.end());
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-    num_edges_ += adj.size();
-  }
-  for (auto& adj : parents_) {
-    std::sort(adj.begin(), adj.end());
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-  }
+  if (frozen_) return;
+  BuildCsrSide(/*keyed_by_parent=*/true, &child_off_, &child_edges_);
+  BuildCsrSide(/*keyed_by_parent=*/false, &parent_off_, &parent_edges_);
+  POWER_CHECK(child_edges_.size() == parent_edges_.size());
+  num_edges_ = child_edges_.size();
+  pending_ = {};
+  frozen_ = true;
 }
 
 namespace {
 
-std::vector<int> Reachable(const std::vector<std::vector<int>>& adj,
-                           int start) {
+// Reachability over one CSR direction with caller-owned scratch-free local
+// state; ascending output.
+template <typename AdjFn>
+std::vector<int> Reachable(size_t n, int start, AdjFn adj) {
   std::vector<int> out;
-  std::vector<bool> visited(adj.size(), false);
+  std::vector<bool> visited(n, false);
   std::vector<int> stack = {start};
   visited[start] = true;
   while (!stack.empty()) {
     int v = stack.back();
     stack.pop_back();
-    for (int u : adj[v]) {
+    for (int u : adj(v)) {
       if (!visited[u]) {
         visited[u] = true;
         out.push_back(u);
@@ -74,23 +167,24 @@ std::vector<int> Reachable(const std::vector<std::vector<int>>& adj,
 }  // namespace
 
 std::vector<int> PairGraph::Descendants(int v) const {
-  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < children_.size());
-  return Reachable(children_, v);
+  CheckFrozenVertex(v);
+  return Reachable(sims_.size(), v, [this](int u) { return children(u); });
 }
 
 std::vector<int> PairGraph::Ancestors(int v) const {
-  POWER_CHECK(v >= 0 && static_cast<size_t>(v) < parents_.size());
-  return Reachable(parents_, v);
+  CheckFrozenVertex(v);
+  return Reachable(sims_.size(), v, [this](int u) { return parents(u); });
 }
 
 std::vector<std::vector<int>> PairGraph::TopologicalLevels(
     const std::vector<bool>& active) const {
   POWER_CHECK(active.size() == sims_.size());
+  POWER_CHECK_MSG(frozen_ || sims_.empty(), "freeze the graph first");
   std::vector<int> indegree(sims_.size(), 0);
   std::vector<int> frontier;
   for (size_t v = 0; v < sims_.size(); ++v) {
     if (!active[v]) continue;
-    for (int p : parents_[v]) {
+    for (int p : parents(static_cast<int>(v))) {
       if (active[p]) ++indegree[v];
     }
     if (indegree[v] == 0) frontier.push_back(static_cast<int>(v));
@@ -101,7 +195,7 @@ std::vector<std::vector<int>> PairGraph::TopologicalLevels(
     levels.push_back(frontier);
     std::vector<int> next;
     for (int v : frontier) {
-      for (int c : children_[v]) {
+      for (int c : children(v)) {
         if (active[c] && --indegree[c] == 0) next.push_back(c);
       }
     }

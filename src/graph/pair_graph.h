@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace power {
@@ -14,32 +16,64 @@ namespace power {
 /// The graph builders emit the *full* dominance relation (an edge for every
 /// comparable vertex pair), i.e. the transitive closure. Question selection
 /// (Dilworth path cover) and O(1)-hop propagation both rely on this.
+///
+/// Lifecycle: the graph has a build phase and a frozen phase. During build,
+/// AddEdge / AddEdgeChunks append to a flat pending-edge list. DedupEdges()
+/// freezes the graph: the pending edges are deduplicated and laid out as two
+/// immutable CSR (offset + flat edge array) adjacency forms — children and
+/// parents — built with parallel counting/scatter/sort passes on the global
+/// thread pool (util/parallel.h) whose result is independent of the thread
+/// count. After freezing, children(v)/parents(v) return lightweight sorted
+/// spans into the flat arrays and no further mutation is allowed. The flat
+/// layout replaces the former ragged vector<vector<int>> adjacency, which on
+/// closure graphs (O(|V|²) edges) dominated both memory and cache misses in
+/// the ask-and-color serving loop.
 class PairGraph {
  public:
   PairGraph() = default;
   explicit PairGraph(std::vector<std::vector<double>> sims);
 
   size_t num_vertices() const { return sims_.size(); }
-  size_t num_edges() const { return num_edges_; }
+  /// Deduplicated edge count once frozen; the pending (possibly duplicated)
+  /// edge count during build.
+  size_t num_edges() const { return frozen_ ? num_edges_ : pending_.size(); }
 
   const std::vector<double>& sims(int v) const;
   const std::vector<std::vector<double>>& all_sims() const { return sims_; }
 
-  /// Adds edge parent -> child. Callers must not add duplicates (or must call
-  /// DedupEdges() afterwards).
+  /// Adds edge parent -> child to the pending build list. Duplicates are
+  /// allowed; DedupEdges() removes them. Must not be called once frozen.
   void AddEdge(int parent, int child);
 
-  /// Children of v: vertices v strictly dominates.
-  const std::vector<int>& children(int v) const;
-  /// Parents of v: vertices strictly dominating v.
-  const std::vector<int>& parents(int v) const;
+  /// Bulk append of per-chunk edge buffers (the builders' emit path). The
+  /// chunks are concatenated in chunk order — the pending list is identical
+  /// to per-edge AddEdge calls in the same order. The copy itself is sharded
+  /// over the pool. Must not be called once frozen.
+  void AddEdgeChunks(std::vector<std::vector<std::pair<int, int>>> chunks);
 
-  /// Sorts adjacency lists and removes duplicate edges.
+  /// Freezes the graph: deduplicates the pending edges and builds the
+  /// immutable CSR adjacency (see class comment). Idempotent.
   void DedupEdges();
 
-  /// All vertices reachable from v via child edges (v excluded).
+  /// True once DedupEdges() has frozen the graph into CSR form.
+  bool frozen() const { return frozen_; }
+
+  /// Children of v (vertices v strictly dominates), ascending. Frozen only.
+  std::span<const int> children(int v) const {
+    CheckFrozenVertex(v);
+    return {child_edges_.data() + child_off_[v],
+            child_edges_.data() + child_off_[v + 1]};
+  }
+  /// Parents of v (vertices strictly dominating v), ascending. Frozen only.
+  std::span<const int> parents(int v) const {
+    CheckFrozenVertex(v);
+    return {parent_edges_.data() + parent_off_[v],
+            parent_edges_.data() + parent_off_[v + 1]};
+  }
+
+  /// All vertices reachable from v via child edges (v excluded), ascending.
   std::vector<int> Descendants(int v) const;
-  /// All vertices reachable from v via parent edges (v excluded).
+  /// All vertices reachable from v via parent edges (v excluded), ascending.
   std::vector<int> Ancestors(int v) const;
 
   /// Kahn peeling over the subgraph induced by `active` vertices: level L1 =
@@ -52,9 +86,21 @@ class PairGraph {
   bool IsAcyclic() const;
 
  private:
+  void CheckFrozenVertex(int v) const;
+  /// Builds one CSR direction from the pending edges: key = pair.first when
+  /// keyed_by_parent, else pair.second.
+  void BuildCsrSide(bool keyed_by_parent, std::vector<int64_t>* offsets,
+                    std::vector<int>* edges) const;
+
   std::vector<std::vector<double>> sims_;
-  std::vector<std::vector<int>> children_;
-  std::vector<std::vector<int>> parents_;
+  std::vector<std::pair<int, int>> pending_;  // build phase only
+  bool frozen_ = false;
+  // CSR adjacency, valid once frozen. offsets have num_vertices() + 1
+  // entries; edge arrays hold the deduplicated, per-vertex-sorted targets.
+  std::vector<int64_t> child_off_;
+  std::vector<int> child_edges_;
+  std::vector<int64_t> parent_off_;
+  std::vector<int> parent_edges_;
   size_t num_edges_ = 0;
 };
 

@@ -70,7 +70,7 @@ class QuickSortBuildState {
                            for (int c : cols) buf.emplace_back(rows[i], c);
                          }
                        });
-    AppendEdges(edges);
+    AppendEdges(std::move(edges));
   }
 
   // Direct comparison of every (row, col) pair straddling the incomparable
@@ -109,13 +109,11 @@ class QuickSortBuildState {
             }
           }
         });
-    AppendEdges(edges);
+    AppendEdges(std::move(edges));
   }
 
-  void AppendEdges(const std::vector<std::vector<std::pair<int, int>>>& edges) {
-    for (const auto& buf : edges) {
-      for (const auto& [parent, child] : buf) graph_->AddEdge(parent, child);
-    }
+  void AppendEdges(std::vector<std::vector<std::pair<int, int>>> edges) {
+    graph_->AddEdgeChunks(std::move(edges));
   }
 
   void Recurse(const std::vector<int>& set) {

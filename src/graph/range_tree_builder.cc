@@ -88,9 +88,7 @@ PairGraph RangeTreeBuilder::Build(std::vector<std::vector<double>> sims) const {
           }
         }
       });
-  for (const auto& buf : edges) {
-    for (const auto& [parent, child] : buf) graph.AddEdge(parent, child);
-  }
+  graph.AddEdgeChunks(std::move(edges));
   graph.DedupEdges();
   return graph;
 }

@@ -1,6 +1,5 @@
 #include "select/matching.h"
 
-#include <deque>
 #include <limits>
 
 #include "util/check.h"
@@ -11,42 +10,84 @@ namespace {
 constexpr int kInf = std::numeric_limits<int>::max();
 }  // namespace
 
-HopcroftKarp::HopcroftKarp(int num_left, int num_right)
-    : num_left_(num_left),
-      num_right_(num_right),
-      adj_(num_left),
-      match_left_(num_left, -1),
-      match_right_(num_right, -1),
-      dist_(num_left, 0) {}
+void HopcroftKarp::Reset(int num_left, int num_right) {
+  num_left_ = num_left;
+  num_right_ = num_right;
+  edges_.clear();
+  adj_.clear();
+  match_left_.assign(num_left, -1);
+  match_right_.assign(num_right, -1);
+  dist_.assign(num_left, 0);
+  csr_direct_ = false;
+  csr_cur_l_ = 0;
+  solved_ = false;
+}
 
 void HopcroftKarp::AddEdge(int l, int r) {
   POWER_CHECK(l >= 0 && l < num_left_);
   POWER_CHECK(r >= 0 && r < num_right_);
-  adj_[l].push_back(r);
+  POWER_CHECK_MSG(!csr_direct_, "cannot mix AddEdge with AddEdgeInOrder");
+  edges_.emplace_back(l, r);
   solved_ = false;
 }
 
+void HopcroftKarp::AddEdgeInOrder(int l, int r) {
+  POWER_CHECK(r >= 0 && r < num_right_);
+  POWER_CHECK_MSG(edges_.empty() && !solved_,
+                  "cannot mix AddEdgeInOrder with AddEdge or a prior Solve");
+  if (!csr_direct_) {
+    csr_direct_ = true;
+    adj_off_.resize(num_left_ + 1);
+    adj_off_[0] = 0;
+  }
+  POWER_CHECK(l >= csr_cur_l_ - 1 && l < num_left_);
+  while (csr_cur_l_ <= l) {
+    adj_off_[csr_cur_l_++] = static_cast<int>(adj_.size());
+  }
+  adj_.push_back(r);
+}
+
+void HopcroftKarp::BuildAdjacency() {
+  if (csr_direct_) {
+    // Finalize the offsets of the trailing left vertices with no edges.
+    while (csr_cur_l_ <= num_left_) {
+      adj_off_[csr_cur_l_++] = static_cast<int>(adj_.size());
+    }
+    return;
+  }
+  // Stable counting sort by left endpoint: per-l target order equals the
+  // AddEdge insertion order, so BFS/DFS — and therefore the matching — are
+  // identical to the historical ragged-adjacency implementation.
+  adj_off_.assign(num_left_ + 1, 0);
+  for (const auto& [l, r] : edges_) ++adj_off_[l + 1];
+  for (int l = 0; l < num_left_; ++l) adj_off_[l + 1] += adj_off_[l];
+  adj_.resize(edges_.size());
+  std::vector<int>& cursor = dist_;  // reuse; Bfs reinitializes it anyway
+  for (int l = 0; l < num_left_; ++l) cursor[l] = adj_off_[l];
+  for (const auto& [l, r] : edges_) adj_[cursor[l]++] = r;
+}
+
 bool HopcroftKarp::Bfs() {
-  std::deque<int> queue;
+  queue_.clear();
   for (int l = 0; l < num_left_; ++l) {
     if (match_left_[l] == -1) {
       dist_[l] = 0;
-      queue.push_back(l);
+      queue_.push_back(l);
     } else {
       dist_[l] = kInf;
     }
   }
   bool found_augmenting = false;
-  while (!queue.empty()) {
-    int l = queue.front();
-    queue.pop_front();
-    for (int r : adj_[l]) {
-      int next = match_right_[r];
+  size_t head = 0;
+  while (head < queue_.size()) {
+    int l = queue_[head++];
+    for (int i = adj_off_[l]; i < adj_off_[l + 1]; ++i) {
+      int next = match_right_[adj_[i]];
       if (next == -1) {
         found_augmenting = true;
       } else if (dist_[next] == kInf) {
         dist_[next] = dist_[l] + 1;
-        queue.push_back(next);
+        queue_.push_back(next);
       }
     }
   }
@@ -54,7 +95,8 @@ bool HopcroftKarp::Bfs() {
 }
 
 bool HopcroftKarp::Dfs(int l) {
-  for (int r : adj_[l]) {
+  for (int i = adj_off_[l]; i < adj_off_[l + 1]; ++i) {
+    int r = adj_[i];
     int next = match_right_[r];
     if (next == -1 || (dist_[next] == dist_[l] + 1 && Dfs(next))) {
       match_left_[l] = r;
@@ -74,7 +116,11 @@ int HopcroftKarp::Solve() {
     }
     return size;
   }
+  BuildAdjacency();
   int size = 0;
+  for (int l = 0; l < num_left_; ++l) {
+    if (match_left_[l] != -1) ++size;  // augment an existing matching
+  }
   while (Bfs()) {
     for (int l = 0; l < num_left_; ++l) {
       if (match_left_[l] == -1 && Dfs(l)) ++size;

@@ -1,6 +1,7 @@
 #ifndef POWER_SELECT_MATCHING_H_
 #define POWER_SELECT_MATCHING_H_
 
+#include <utility>
 #include <vector>
 
 namespace power {
@@ -11,14 +12,35 @@ namespace power {
 /// maximal matching in O(B|V|^2) [Felsner et al.]; a maximum matching yields
 /// the same minimal path count (Fulkerson: #paths = |V| - |matching|) and is
 /// faster.
+///
+/// The instance is reusable: Reset(nl, nr) clears the edge set and matching
+/// while keeping every internal buffer's capacity, so the per-round path
+/// covers of the §5 selectors run without allocation once warm. Edges are
+/// staged in a flat list and compiled into a CSR adjacency on Solve(); the
+/// BFS/DFS visit order is the per-left-vertex insertion order, identical to
+/// the historical vector<vector> implementation.
 class HopcroftKarp {
  public:
-  HopcroftKarp(int num_left, int num_right);
+  HopcroftKarp() = default;
+  HopcroftKarp(int num_left, int num_right) { Reset(num_left, num_right); }
+
+  /// Re-dimensions the instance and clears edges and matching. Buffer
+  /// capacity is retained.
+  void Reset(int num_left, int num_right);
 
   /// Adds an edge from left vertex l to right vertex r.
   void AddEdge(int l, int r);
 
-  /// Computes the maximum matching; returns its size. Idempotent.
+  /// Fast path for callers that emit edges grouped by non-decreasing left
+  /// vertex (the path cover scans vertices in ascending order): the CSR
+  /// adjacency is written in place with no staging or sorting pass. Must not
+  /// be mixed with AddEdge on the same Reset() generation; `l` must be >=
+  /// every previously added left vertex.
+  void AddEdgeInOrder(int l, int r);
+
+  /// Computes the maximum matching; returns its size. Idempotent; edges
+  /// added after a Solve() are picked up by the next Solve(), which augments
+  /// the existing matching.
   int Solve();
 
   /// match_left()[l] = matched right vertex or -1. Valid after Solve().
@@ -27,15 +49,21 @@ class HopcroftKarp {
   const std::vector<int>& match_right() const { return match_right_; }
 
  private:
+  void BuildAdjacency();
   bool Bfs();
   bool Dfs(int l);
 
-  int num_left_;
-  int num_right_;
-  std::vector<std::vector<int>> adj_;
+  int num_left_ = 0;
+  int num_right_ = 0;
+  std::vector<std::pair<int, int>> edges_;  // staged (l, r) pairs
+  std::vector<int> adj_off_;                // CSR offsets, size num_left_+1
+  std::vector<int> adj_;                    // CSR targets
+  bool csr_direct_ = false;  // adjacency built in place by AddEdgeInOrder
+  int csr_cur_l_ = 0;        // highest left vertex with a finalized offset
   std::vector<int> match_left_;
   std::vector<int> match_right_;
   std::vector<int> dist_;
+  std::vector<int> queue_;  // BFS scratch
   bool solved_ = false;
 };
 

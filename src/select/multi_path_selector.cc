@@ -1,22 +1,14 @@
 #include "select/multi_path_selector.h"
 
-#include "select/path_cover.h"
-
 namespace power {
 
 std::vector<int> MultiPathSelector::NextBatch(const ColoringState& state) {
-  const PairGraph& graph = state.graph();
-  std::vector<bool> active(graph.num_vertices(), false);
-  bool any = false;
-  for (size_t v = 0; v < graph.num_vertices(); ++v) {
-    if (state.color(static_cast<int>(v)) == Color::kUncolored) {
-      active[v] = true;
-      any = true;
-    }
-  }
-  if (!any) return {};
+  if (state.num_uncolored() == 0) return {};
+  state.FillUncoloredMask(&active_);
   std::vector<int> batch;
-  for (const auto& path : MinimumPathCover(graph, active)) {
+  const auto& paths = MinimumPathCover(state.graph(), active_, &cover_scratch_);
+  batch.reserve(paths.size());
+  for (const auto& path : paths) {
     batch.push_back(path[path.size() / 2]);
   }
   return batch;

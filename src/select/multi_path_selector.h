@@ -1,17 +1,23 @@
 #ifndef POWER_SELECT_MULTI_PATH_SELECTOR_H_
 #define POWER_SELECT_MULTI_PATH_SELECTOR_H_
 
+#include "select/path_cover.h"
 #include "select/selector.h"
 
 namespace power {
 
 /// Algorithm 7 "Multi-Path" (§5.3.1): recomputes the minimum path cover of
 /// the uncolored subgraph each iteration and asks the mid-vertex of every
-/// path in parallel.
+/// path in parallel. The per-round cover runs on a persistent
+/// PathCoverScratch (reused Hopcroft-Karp buffers and active mask).
 class MultiPathSelector : public QuestionSelector {
  public:
   const char* name() const override { return "MultiPath"; }
   std::vector<int> NextBatch(const ColoringState& state) override;
+
+ private:
+  std::vector<bool> active_;
+  PathCoverScratch cover_scratch_;
 };
 
 }  // namespace power

@@ -1,37 +1,54 @@
 #include "select/path_cover.h"
 
-#include "select/matching.h"
+#include <utility>
+
 #include "util/check.h"
 
 namespace power {
 
-std::vector<std::vector<int>> MinimumPathCover(
-    const PairGraph& graph, const std::vector<bool>& active) {
+const std::vector<std::vector<int>>& MinimumPathCover(
+    const PairGraph& graph, const std::vector<bool>& active,
+    PathCoverScratch* scratch) {
   POWER_CHECK(active.size() == graph.num_vertices());
   const int n = static_cast<int>(graph.num_vertices());
 
   // Bipartite model (§5.2): V1 = V2 = V, edge (v1, v2) per DAG edge; a
   // matching edge (v, v') chains v' directly after v on some path.
-  HopcroftKarp matcher(n, n);
+  HopcroftKarp& matcher = scratch->matcher;
+  matcher.Reset(n, n);
   for (int v = 0; v < n; ++v) {
     if (!active[v]) continue;
     for (int c : graph.children(v)) {
-      if (active[c]) matcher.AddEdge(v, c);
+      // The v-ascending scan lets the matcher write its CSR in place with
+      // no staging or sorting pass; per-v target order is the span order,
+      // identical to the historical ragged push_back adjacency.
+      if (active[c]) matcher.AddEdgeInOrder(v, c);
     }
   }
   matcher.Solve();
   const auto& next = matcher.match_left();
   const auto& prev = matcher.match_right();
 
-  // Path heads: active vertices with no in-edge in the matching.
-  std::vector<std::vector<int>> paths;
+  // Path heads: active vertices with no in-edge in the matching. Reuse the
+  // scratch path vectors (clear keeps their capacity).
+  auto& paths = scratch->paths;
+  size_t used = 0;
   for (int v = 0; v < n; ++v) {
     if (!active[v] || prev[v] != -1) continue;
-    std::vector<int> path;
+    if (used == paths.size()) paths.emplace_back();
+    std::vector<int>& path = paths[used++];
+    path.clear();
     for (int u = v; u != -1; u = next[u]) path.push_back(u);
-    paths.push_back(std::move(path));
   }
+  paths.resize(used);
   return paths;
+}
+
+std::vector<std::vector<int>> MinimumPathCover(
+    const PairGraph& graph, const std::vector<bool>& active) {
+  PathCoverScratch scratch;
+  MinimumPathCover(graph, active, &scratch);
+  return std::move(scratch.paths);
 }
 
 std::vector<std::vector<int>> MinimumPathCover(const PairGraph& graph) {

@@ -4,8 +4,18 @@
 #include <vector>
 
 #include "graph/pair_graph.h"
+#include "select/matching.h"
 
 namespace power {
+
+/// Reusable state for per-round path covers: the Hopcroft-Karp matcher and
+/// the output paths. A selector that recomputes the cover every round keeps
+/// one scratch instance so the matcher's buffers (and the path vectors') are
+/// reused instead of reallocated per call.
+struct PathCoverScratch {
+  HopcroftKarp matcher;
+  std::vector<std::vector<int>> paths;
+};
 
 /// Minimum path cover of the comparability DAG restricted to the `active`
 /// vertices (§5.2, Theorem 2). Because the builders emit the full dominance
@@ -14,11 +24,15 @@ namespace power {
 /// most-dominating to most-dominated.
 ///
 /// Returned paths are disjoint, complete over the active set, and minimal in
-/// number.
+/// number. The reference stays valid until the next call with the same
+/// scratch.
+const std::vector<std::vector<int>>& MinimumPathCover(
+    const PairGraph& graph, const std::vector<bool>& active,
+    PathCoverScratch* scratch);
+
+/// Allocating convenience overloads (tests, one-shot stats).
 std::vector<std::vector<int>> MinimumPathCover(const PairGraph& graph,
                                                const std::vector<bool>& active);
-
-/// Convenience overload covering all vertices.
 std::vector<std::vector<int>> MinimumPathCover(const PairGraph& graph);
 
 }  // namespace power

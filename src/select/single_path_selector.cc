@@ -2,37 +2,28 @@
 
 #include <algorithm>
 
-#include "select/path_cover.h"
-
 namespace power {
 
 std::vector<int> SinglePathSelector::NextBatch(const ColoringState& state) {
   // Keep only the still-uncolored stretch of the current path; propagation
   // from the previous answer shrank it like a binary-search step.
-  std::vector<int> remaining;
+  remaining_.clear();
   for (int v : current_path_) {
-    if (state.color(v) == Color::kUncolored) remaining.push_back(v);
+    if (state.IsUncolored(v)) remaining_.push_back(v);
   }
-  if (remaining.empty()) {
+  if (remaining_.empty()) {
     // Recompute the minimum path cover over the uncolored subgraph and adopt
     // the longest path.
-    const PairGraph& graph = state.graph();
-    std::vector<bool> active(graph.num_vertices(), false);
-    bool any = false;
-    for (size_t v = 0; v < graph.num_vertices(); ++v) {
-      if (state.color(static_cast<int>(v)) == Color::kUncolored) {
-        active[v] = true;
-        any = true;
-      }
-    }
-    if (!any) return {};
-    auto paths = MinimumPathCover(graph, active);
+    if (state.num_uncolored() == 0) return {};
+    state.FillUncoloredMask(&active_);
+    const auto& paths =
+        MinimumPathCover(state.graph(), active_, &cover_scratch_);
     auto longest = std::max_element(
         paths.begin(), paths.end(),
         [](const auto& a, const auto& b) { return a.size() < b.size(); });
-    remaining = *longest;
+    remaining_ = *longest;
   }
-  current_path_ = remaining;
+  current_path_ = remaining_;
   return {current_path_[current_path_.size() / 2]};
 }
 

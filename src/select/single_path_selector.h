@@ -1,6 +1,7 @@
 #ifndef POWER_SELECT_SINGLE_PATH_SELECTOR_H_
 #define POWER_SELECT_SINGLE_PATH_SELECTOR_H_
 
+#include "select/path_cover.h"
 #include "select/selector.h"
 
 namespace power {
@@ -12,6 +13,10 @@ namespace power {
 /// Fig. 5). When the current path is exhausted the cover is recomputed.
 /// Asks exactly one question per iteration; serially optimal (O(B log |V|)
 /// questions in the error-free case).
+///
+/// The path-cover recomputation runs on a persistent PathCoverScratch (the
+/// Hopcroft-Karp buffers and an active-mask vector are reused round to
+/// round), so a NextBatch call allocates only its one-element result.
 class SinglePathSelector : public QuestionSelector {
  public:
   const char* name() const override { return "SinglePath"; }
@@ -19,6 +24,9 @@ class SinglePathSelector : public QuestionSelector {
 
  private:
   std::vector<int> current_path_;
+  std::vector<int> remaining_;
+  std::vector<bool> active_;
+  PathCoverScratch cover_scratch_;
 };
 
 }  // namespace power

@@ -40,6 +40,7 @@ TEST(BoundaryTest, AllRedChainHasOneBoundary) {
 
 TEST(BoundaryTest, AntichainIsAllBoundary) {
   PairGraph g(std::vector<std::vector<double>>(4, {0.0}));
+  g.DedupEdges();
   std::vector<bool> green = {true, false, true, false};
   EXPECT_EQ(CountBoundaryVertices(g, green), 4u);
 }

@@ -3,6 +3,7 @@
 #include "data/paper_example.h"
 #include "graph/builder.h"
 #include "graph/coloring.h"
+#include "util/rng.h"
 
 namespace power {
 namespace {
@@ -172,6 +173,103 @@ TEST(ColoringTest, PaperWalkthroughFigure1) {
   EXPECT_EQ(state.color(idx(1, 2)), Color::kUncolored);
   EXPECT_EQ(state.color(idx(2, 4)), Color::kUncolored);
   EXPECT_EQ(state.color(idx(2, 5)), Color::kUncolored);
+}
+
+// Satellite check for the incremental counters: after every mutation the
+// O(1) counters and the uncolored bitset must agree with a full scan of
+// color(v). The random-DAG answer sequence is chosen so that conflict ties
+// revert deduced vertices back to UNCOLORED (the §5.3.1 rule), exercising
+// the colored -> uncolored transition that a naive "colored count only goes
+// up" implementation would get wrong.
+TEST(ColoringTest, IncrementalCountersMatchScanUnderRandomAnswers) {
+  constexpr int kN = 120;
+  Rng rng(2024);
+  // Random layered DAG closed under transitivity (edges only go up in index,
+  // so it is acyclic by construction).
+  PairGraph g(std::vector<std::vector<double>>(kN, {0.0}));
+  std::vector<std::vector<char>> reach(kN, std::vector<char>(kN, 0));
+  for (int a = 0; a < kN; ++a) {
+    for (int b = a + 1; b < kN; ++b) {
+      if (rng.Bernoulli(0.08)) reach[a][b] = 1;
+    }
+  }
+  // Transitive closure (the builders emit the full dominance relation).
+  for (int m = 0; m < kN; ++m) {
+    for (int a = 0; a < kN; ++a) {
+      if (!reach[a][m]) continue;
+      for (int b = m + 1; b < kN; ++b) {
+        if (reach[m][b]) reach[a][b] = 1;
+      }
+    }
+  }
+  for (int a = 0; a < kN; ++a) {
+    for (int b = a + 1; b < kN; ++b) {
+      if (reach[a][b]) g.AddEdge(a, b);
+    }
+  }
+  g.DedupEdges();
+
+  ColoringState state(&g);
+  auto check_against_scan = [&state]() {
+    size_t scan[4] = {0, 0, 0, 0};
+    std::vector<int> scan_uncolored;
+    for (int v = 0; v < kN; ++v) {
+      ++scan[static_cast<size_t>(state.color(v))];
+      if (state.color(v) == Color::kUncolored) scan_uncolored.push_back(v);
+    }
+    ASSERT_EQ(state.num_uncolored(), scan[0]);
+    ASSERT_EQ(state.num_green(), scan[1]);
+    ASSERT_EQ(state.num_red(), scan[2]);
+    ASSERT_EQ(state.num_blue(), scan[3]);
+    ASSERT_EQ(state.AllColored(), scan[0] == 0);
+    ASSERT_EQ(state.UncoloredVertices(), scan_uncolored);
+    std::vector<bool> mask;
+    state.FillUncoloredMask(&mask);
+    ASSERT_EQ(mask.size(), static_cast<size_t>(kN));
+    for (int v = 0; v < kN; ++v) {
+      ASSERT_EQ(mask[v], state.IsUncolored(v)) << v;
+    }
+  };
+
+  bool saw_tie_revert = false;
+  size_t journal_before = 0;
+  for (int step = 0; step < 300; ++step) {
+    int v = static_cast<int>(rng.UniformIndex(kN));
+    size_t uncolored_before = state.num_uncolored();
+    std::vector<Color> colors_before;
+    for (int u = 0; u < kN; ++u) colors_before.push_back(state.color(u));
+    int action = rng.UniformInt(0, 9);
+    if (action < 8) {
+      // Alternating YES/NO on random vertices produces vote conflicts.
+      state.ApplyAnswer(v, rng.Bernoulli(0.5));
+    } else if (action == 8) {
+      state.MarkBlue(v);
+    } else {
+      state.ForceColor(v, rng.Bernoulli(0.5) ? Color::kGreen : Color::kRed);
+    }
+    check_against_scan();
+    for (int u = 0; u < kN; ++u) {
+      if (colors_before[u] != Color::kUncolored && state.IsUncolored(u)) {
+        saw_tie_revert = true;  // a conflict tie reopened a deduced vertex
+      }
+    }
+    // The journal must record exactly the vertices whose color changed
+    // (possibly with repeats from intermediate propagation states).
+    const auto& journal = state.color_journal();
+    std::vector<bool> touched(kN, false);
+    for (size_t j = journal_before; j < journal.size(); ++j) {
+      touched[journal[j]] = true;
+    }
+    for (int u = 0; u < kN; ++u) {
+      if (colors_before[u] != state.color(u)) {
+        ASSERT_TRUE(touched[u]) << "missing journal entry for " << u;
+      }
+    }
+    journal_before = journal.size();
+    (void)uncolored_before;
+  }
+  EXPECT_TRUE(saw_tie_revert)
+      << "sequence never exercised the tie -> UNCOLORED transition";
 }
 
 TEST(ColorNameTest, AllNamesDistinct) {

@@ -32,6 +32,7 @@ TEST(GraphStatsTest, ChainStatistics) {
 
 TEST(GraphStatsTest, AntichainStatistics) {
   PairGraph g(std::vector<std::vector<double>>(4, {0.0}));
+  g.DedupEdges();
   GraphStats s = ComputeGraphStats(g);
   EXPECT_EQ(s.edges, 0u);
   EXPECT_DOUBLE_EQ(s.comparable_fraction, 0.0);

@@ -5,6 +5,10 @@
 namespace power {
 namespace {
 
+std::vector<int> ToVec(std::span<const int> s) {
+  return std::vector<int>(s.begin(), s.end());
+}
+
 // A small diamond: 0 -> {1, 2} -> 3, plus closure edge 0 -> 3.
 PairGraph Diamond() {
   PairGraph g(std::vector<std::vector<double>>(4, {0.0}));
@@ -21,8 +25,8 @@ TEST(PairGraphTest, EdgeAccounting) {
   PairGraph g = Diamond();
   EXPECT_EQ(g.num_vertices(), 4u);
   EXPECT_EQ(g.num_edges(), 5u);
-  EXPECT_EQ(g.children(0), (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(g.parents(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ToVec(g.children(0)), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ToVec(g.parents(3)), (std::vector<int>{0, 1, 2}));
   EXPECT_TRUE(g.parents(0).empty());
   EXPECT_TRUE(g.children(3).empty());
 }
@@ -34,7 +38,7 @@ TEST(PairGraphTest, DedupRemovesDuplicates) {
   EXPECT_EQ(g.num_edges(), 2u);
   g.DedupEdges();
   EXPECT_EQ(g.num_edges(), 1u);
-  EXPECT_EQ(g.children(0), (std::vector<int>{1}));
+  EXPECT_EQ(ToVec(g.children(0)), (std::vector<int>{1}));
 }
 
 TEST(PairGraphTest, DescendantsAndAncestors) {
@@ -53,6 +57,7 @@ TEST(PairGraphTest, DescendantsFollowTransitiveChains) {
   g.AddEdge(0, 1);
   g.AddEdge(1, 2);
   g.AddEdge(2, 3);
+  g.DedupEdges();
   EXPECT_EQ(g.Descendants(0), (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(g.Ancestors(3), (std::vector<int>{0, 1, 2}));
 }
@@ -86,11 +91,13 @@ TEST(PairGraphTest, IsAcyclic) {
   cyclic.AddEdge(0, 1);
   cyclic.AddEdge(1, 2);
   cyclic.AddEdge(2, 0);
+  cyclic.DedupEdges();
   EXPECT_FALSE(cyclic.IsAcyclic());
 }
 
 TEST(PairGraphTest, IsolatedVerticesFormOneLevel) {
   PairGraph g(std::vector<std::vector<double>>(3, {0.0}));
+  g.DedupEdges();
   auto levels = g.TopologicalLevels(std::vector<bool>(3, true));
   ASSERT_EQ(levels.size(), 1u);
   EXPECT_EQ(levels[0], (std::vector<int>{0, 1, 2}));

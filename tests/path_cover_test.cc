@@ -58,6 +58,7 @@ TEST(PathCoverTest, ChainIsOnePath) {
 
 TEST(PathCoverTest, AntichainIsAllSingletons) {
   PairGraph g(std::vector<std::vector<double>>(5, {0.0}));
+  g.DedupEdges();
   auto paths = MinimumPathCover(g);
   EXPECT_EQ(paths.size(), 5u);
   CheckCover(g, std::vector<bool>(5, true), paths);

@@ -93,6 +93,7 @@ TEST_P(AllSelectors, ColorsPaperExampleCorrectly) {
 
 TEST_P(AllSelectors, HandlesAntichain) {
   PairGraph g(std::vector<std::vector<double>>(7, {0.0}));
+  g.DedupEdges();
   ColoringState state(&g);
   auto selector = MakeSelector(GetParam(), 13);
   auto result =
