@@ -1,16 +1,40 @@
 // Figures 15-17: effect of the similarity function (Jaccard / edit /
 // bigram, applied to every attribute) on quality, #questions and
 // #iterations, with 90%-accuracy workers.
+//
+// Plus the similarity front-end throughput bench: the cached path
+// (FeatureCache build + interned-token candidate scan + cached pair
+// similarity vectors) against a bench-local copy of the legacy string path
+// (per-call concatenation/tokenization via the retained table-based
+// per-pair functions), on a mixed-schema table exercising edit, Jaccard,
+// bigram and numeric attributes, swept over thread counts. The two paths'
+// outputs are asserted equal before any timing is reported.
+//
+// Usage:
+//   bench_similarity_functions [--smoke] [--json <path>]
+//
+// --smoke shrinks the front-end table to a few hundred records and skips the
+// Fig 15-17 sweep so the binary runs in well under a second; it is wired as
+// the `bench_similarity_smoke` ctest target. --json writes the front-end
+// result rows as a JSON array (consumed by BENCH_similarity.json).
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "eval/experiment.h"
+#include "sim/feature_cache.h"
+#include "sim/similarity_matrix.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace power {
 namespace bench {
 namespace {
 
-void Run() {
+void RunFigures() {
   const SimilarityFunction kFunctions[] = {
       SimilarityFunction::kJaccard, SimilarityFunction::kEditSimilarity,
       SimilarityFunction::kBigramJaccard};
@@ -38,11 +62,243 @@ void Run() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Front-end throughput: legacy string path vs cached features.
+// ---------------------------------------------------------------------------
+
+constexpr double kFrontEndTau = 0.3;
+constexpr double kFrontEndFloor = 0.2;
+
+Table MakeFrontEndTable(size_t num_records) {
+  DatasetProfile profile;
+  profile.name = "MixedSchema";
+  profile.num_records = num_records;
+  profile.num_entities = num_records * 2 / 5;
+  profile.attributes = {
+      {"name", AttributeKind::kProperName, SimilarityFunction::kEditSimilarity,
+       0.0},
+      {"address", AttributeKind::kAddress, SimilarityFunction::kJaccard, 0.05},
+      {"category", AttributeKind::kCategory,
+       SimilarityFunction::kBigramJaccard, 0.1},
+      {"year", AttributeKind::kYear, SimilarityFunction::kNumeric, 0.1},
+  };
+  profile.dirtiness = 0.35;
+  profile.brand_share = 0.15;
+  return DatasetGenerator(kBenchSeed).Generate(profile);
+}
+
+// Bench-local copy of the historical front end: the same sharded loops the
+// production path runs, but every comparison goes through the legacy
+// table-based per-pair functions (string concatenation + tokenization per
+// call).
+std::vector<std::pair<int, int>> LegacyAllPairsCandidates(const Table& table,
+                                                          double tau) {
+  constexpr int64_t kRowGrain = 16;
+  const int n = static_cast<int>(table.num_records());
+  std::vector<std::vector<std::pair<int, int>>> found(
+      NumChunks(0, n, kRowGrain));
+  ParallelForChunked(0, n, kRowGrain,
+                     [&](size_t chunk, int64_t row_begin, int64_t row_end) {
+                       auto& buf = found[chunk];
+                       for (int i = static_cast<int>(row_begin);
+                            i < static_cast<int>(row_end); ++i) {
+                         for (int j = i + 1; j < n; ++j) {
+                           if (RecordLevelJaccard(table, i, j) >= tau) {
+                             buf.emplace_back(i, j);
+                           }
+                         }
+                       }
+                     });
+  std::vector<std::pair<int, int>> out;
+  for (auto& buf : found) out.insert(out.end(), buf.begin(), buf.end());
+  return out;
+}
+
+std::vector<SimilarPair> LegacyPairSimilarities(
+    const Table& table, const std::vector<std::pair<int, int>>& candidates,
+    double floor) {
+  constexpr int64_t kPairGrain = 64;
+  std::vector<SimilarPair> out(candidates.size());
+  ParallelFor(0, static_cast<int64_t>(candidates.size()), kPairGrain,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t p = begin; p < end; ++p) {
+                  const auto& [i, j] = candidates[static_cast<size_t>(p)];
+                  out[static_cast<size_t>(p)] =
+                      ComputePairSimilarity(table, i, j, floor);
+                }
+              });
+  return out;
+}
+
+struct FrontEndResult {
+  std::string path;  // "legacy" | "cached"
+  int threads = 1;
+  size_t records = 0;
+  size_t raw_pairs = 0;
+  size_t candidates = 0;
+  double prune_seconds = 0.0;  // candidate scan (cached: incl. cache build)
+  double sim_seconds = 0.0;    // per-pair similarity vectors
+  double total_seconds() const { return prune_seconds + sim_seconds; }
+  double raw_pairs_per_sec() const {
+    return prune_seconds <= 0.0 ? 0.0 : raw_pairs / prune_seconds;
+  }
+  double front_end_pairs_per_sec() const {
+    return total_seconds() <= 0.0 ? 0.0 : raw_pairs / total_seconds();
+  }
+};
+
+FrontEndResult RunFrontEnd(bool cached, const Table& table, int threads,
+                           std::vector<std::pair<int, int>>* candidates_out,
+                           std::vector<SimilarPair>* sims_out) {
+  ScopedNumThreads scope(threads);
+  FrontEndResult r;
+  r.path = cached ? "cached" : "legacy";
+  r.threads = threads;
+  r.records = table.num_records();
+  r.raw_pairs = r.records * (r.records - 1) / 2;
+
+  Stopwatch prune_watch;
+  if (cached) {
+    // The cache build is charged to the pruning stage, as in
+    // PowerFramework::Run.
+    FeatureCache features(table);
+    *candidates_out = AllPairsCandidates(features, kFrontEndTau);
+    r.prune_seconds = prune_watch.ElapsedSeconds();
+    Stopwatch sim_watch;
+    *sims_out =
+        ComputePairSimilarities(features, *candidates_out, kFrontEndFloor);
+    r.sim_seconds = sim_watch.ElapsedSeconds();
+  } else {
+    *candidates_out = LegacyAllPairsCandidates(table, kFrontEndTau);
+    r.prune_seconds = prune_watch.ElapsedSeconds();
+    Stopwatch sim_watch;
+    *sims_out = LegacyPairSimilarities(table, *candidates_out, kFrontEndFloor);
+    r.sim_seconds = sim_watch.ElapsedSeconds();
+  }
+  r.candidates = candidates_out->size();
+  return r;
+}
+
+void PrintFrontEndRow(const FrontEndResult& r) {
+  std::printf("%-8s %8d %8zu %10zu %7zu %11.1f %10.1f %11.2fM %11.2fM\n",
+              r.path.c_str(), r.threads, r.records, r.raw_pairs, r.candidates,
+              r.prune_seconds * 1e3, r.sim_seconds * 1e3,
+              r.raw_pairs_per_sec() / 1e6, r.front_end_pairs_per_sec() / 1e6);
+}
+
+std::string FrontEndJsonRow(const FrontEndResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"path\": \"%s\", \"threads\": %d, \"records\": %zu, "
+      "\"raw_pairs\": %zu, \"candidates\": %zu, \"prune_seconds\": %.6f, "
+      "\"sim_seconds\": %.6f, \"total_seconds\": %.6f, "
+      "\"front_end_pairs_per_sec\": %.0f}",
+      r.path.c_str(), r.threads, r.records, r.raw_pairs, r.candidates,
+      r.prune_seconds, r.sim_seconds, r.total_seconds(),
+      r.front_end_pairs_per_sec());
+  return buf;
+}
+
+int RunFrontEndBench(bool smoke, const char* json_path) {
+  const size_t kRecords = smoke ? 220 : 2500;
+  const std::vector<int> kThreads =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 8};
+  Table table = MakeFrontEndTable(kRecords);
+
+  PrintTitle(
+      "Similarity front end — legacy string path vs cached features "
+      "(mixed edit/jaccard/bigram/numeric schema)");
+  std::printf("%-8s %8s %8s %10s %7s %11s %10s %12s %12s\n", "Path",
+              "Threads", "Records", "RawPairs", "Cands", "Prune(ms)",
+              "Sims(ms)", "Scan(Mp/s)", "Total(Mp/s)");
+  PrintRule();
+
+  std::vector<FrontEndResult> results;
+  bool ok = true;
+  for (int threads : kThreads) {
+    std::vector<std::pair<int, int>> legacy_cands;
+    std::vector<SimilarPair> legacy_sims;
+    FrontEndResult legacy =
+        RunFrontEnd(false, table, threads, &legacy_cands, &legacy_sims);
+    PrintFrontEndRow(legacy);
+    results.push_back(legacy);
+
+    std::vector<std::pair<int, int>> cached_cands;
+    std::vector<SimilarPair> cached_sims;
+    FrontEndResult cached =
+        RunFrontEnd(true, table, threads, &cached_cands, &cached_sims);
+    PrintFrontEndRow(cached);
+    results.push_back(cached);
+
+    // Byte-identity gate: never report a speedup for a path that changed
+    // the answer.
+    if (cached_cands != legacy_cands) {
+      std::fprintf(stderr, "FAIL: candidate lists diverged at %d threads\n",
+                   threads);
+      ok = false;
+    }
+    if (cached_sims.size() != legacy_sims.size()) {
+      std::fprintf(stderr, "FAIL: sims size diverged at %d threads\n",
+                   threads);
+      ok = false;
+    } else {
+      for (size_t p = 0; p < cached_sims.size(); ++p) {
+        if (cached_sims[p].i != legacy_sims[p].i ||
+            cached_sims[p].j != legacy_sims[p].j ||
+            cached_sims[p].sims != legacy_sims[p].sims) {
+          std::fprintf(stderr,
+                       "FAIL: similarity vector %zu diverged at %d threads\n",
+                       p, threads);
+          ok = false;
+          break;
+        }
+      }
+    }
+    std::printf("%-8s %8d speedup: %.2fx (prune %.2fx, sims %.2fx)\n", "",
+                threads, legacy.total_seconds() / cached.total_seconds(),
+                legacy.prune_seconds / cached.prune_seconds,
+                cached.sim_seconds > 0.0
+                    ? legacy.sim_seconds / cached.sim_seconds
+                    : 0.0);
+    PrintRule();
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(f, "%s%s\n", FrontEndJsonRow(results[i]).c_str(),
+                   i + 1 == results.size() ? "" : ",");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace power
 
-int main() {
-  power::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  int status = power::bench::RunFrontEndBench(smoke, json_path);
+  if (!smoke) power::bench::RunFigures();
+  return status;
 }

@@ -21,11 +21,14 @@ esac
 
 # The parallel harness: differential (parallel output == serial output),
 # determinism (PowerResult independent of num_threads), the coloring fuzz
-# suite on parallel-built graphs, the ParallelFor/ThreadPool unit tests, and
-# the selection-loop trace suite (incremental ask-and-color loop == legacy
-# scan-based reference at 1/2/8 threads, over the parallel CSR freeze).
+# suite on parallel-built graphs, the ParallelFor/ThreadPool unit tests, the
+# selection-loop trace suite (incremental ask-and-color loop == legacy
+# scan-based reference at 1/2/8 threads, over the parallel CSR freeze), the
+# feature-cache differential (cached similarity front end == legacy string
+# path, bit for bit, at 1/2/8 threads — its build is itself a sharded hot
+# path), and the bit-parallel edit-distance fuzz suite.
 # ctest filters by gtest-discovered *test* names, not binary names.
-PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop'
+PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop|FeatureCache|EditDistanceFuzz'
 
 if [[ "$RUN_MAIN" == 1 ]]; then
   echo "== build (default flags) =="

@@ -93,11 +93,12 @@ ErResult RunAcd(const Table& table,
                 PairOracle* oracle, const AcdConfig& config) {
   ErResult result;
   const int n = static_cast<int>(table.num_records());
+  FeatureCache features(table);
 
   std::vector<double> sim(candidates.size());
   std::vector<size_t> by_uncertainty(candidates.size());
   for (size_t idx = 0; idx < candidates.size(); ++idx) {
-    sim[idx] = RecordLevelJaccard(table, candidates[idx].first,
+    sim[idx] = RecordLevelJaccard(features, candidates[idx].first,
                                   candidates[idx].second);
     by_uncertainty[idx] = idx;
   }

@@ -29,11 +29,12 @@ ErResult RunGcer(const Table& table,
   // Match probability prior from record similarity; degree = how many
   // candidate pairs a record participates in (connectivity: answering a
   // well-connected pair resolves more pairs via transitivity).
+  FeatureCache features(table);
   std::vector<double> prob(candidates.size());
   std::vector<int> degree(n, 0);
   for (size_t idx = 0; idx < candidates.size(); ++idx) {
     const auto& [i, j] = candidates[idx];
-    prob[idx] = std::clamp(RecordLevelJaccard(table, i, j), 0.02, 0.98);
+    prob[idx] = std::clamp(RecordLevelJaccard(features, i, j), 0.02, 0.98);
     ++degree[i];
     ++degree[j];
   }

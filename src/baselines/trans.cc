@@ -13,6 +13,7 @@ ErResult RunTrans(const Table& table,
                   const std::vector<std::pair<int, int>>& candidates,
                   PairOracle* oracle) {
   ErResult result;
+  FeatureCache features(table);
 
   // Descending record-level similarity: likely-matching pairs first maximize
   // the inference yield of transitivity (the Trans paper's ordering).
@@ -20,7 +21,7 @@ ErResult RunTrans(const Table& table,
   order.reserve(candidates.size());
   for (size_t idx = 0; idx < candidates.size(); ++idx) {
     const auto& [i, j] = candidates[idx];
-    order.push_back({RecordLevelJaccard(table, i, j), idx});
+    order.push_back({RecordLevelJaccard(features, i, j), idx});
   }
   std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first > b.first;

@@ -6,13 +6,13 @@
 
 namespace power {
 
-std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
-                                                    double tau) {
+std::vector<std::pair<int, int>> AllPairsCandidates(
+    const FeatureCache& features, double tau) {
   // Row-sharded over the pool. Chunks cover ascending i-ranges and their
   // buffers are concatenated in chunk order, so the output ordering is
   // exactly the serial loop's ((i asc, j asc)) at any thread count.
   constexpr int64_t kRowGrain = 16;
-  const int n = static_cast<int>(table.num_records());
+  const int n = static_cast<int>(features.num_records());
   std::vector<std::vector<std::pair<int, int>>> found(
       NumChunks(0, n, kRowGrain));
   ParallelForChunked(0, n, kRowGrain,
@@ -21,7 +21,7 @@ std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
                        for (int i = static_cast<int>(row_begin);
                             i < static_cast<int>(row_end); ++i) {
                          for (int j = i + 1; j < n; ++j) {
-                           if (RecordLevelJaccard(table, i, j) >= tau) {
+                           if (RecordLevelJaccard(features, i, j) >= tau) {
                              buf.emplace_back(i, j);
                            }
                          }
@@ -34,16 +34,28 @@ std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
   return out;
 }
 
+std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
+                                                    double tau) {
+  FeatureCache features(table);
+  return AllPairsCandidates(features, tau);
+}
+
+std::vector<std::pair<int, int>> GenerateCandidates(
+    const FeatureCache& features, double tau, CandidateMethod method) {
+  switch (method) {
+    case CandidateMethod::kAllPairs:
+      return AllPairsCandidates(features, tau);
+    case CandidateMethod::kPrefixJoin:
+      return PrefixFilterJoin(features, tau);
+  }
+  return {};
+}
+
 std::vector<std::pair<int, int>> GenerateCandidates(const Table& table,
                                                     double tau,
                                                     CandidateMethod method) {
-  switch (method) {
-    case CandidateMethod::kAllPairs:
-      return AllPairsCandidates(table, tau);
-    case CandidateMethod::kPrefixJoin:
-      return PrefixFilterJoin(table, tau);
-  }
-  return {};
+  FeatureCache features(table);
+  return GenerateCandidates(features, tau, method);
 }
 
 }  // namespace power

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/table.h"
+#include "sim/feature_cache.h"
 
 namespace power {
 
@@ -12,8 +13,13 @@ namespace power {
 /// similarity reaches `tau` are kept as graph vertices; everything below is
 /// assumed non-matching without asking the crowd.
 ///
-/// Enumerates all n*(n-1)/2 pairs. Fine for Restaurant/Cora-sized tables;
-/// use PrefixFilterJoin for ACMPub scale.
+/// Enumerates all n*(n-1)/2 pairs over the cached record-level token-id
+/// spans. Fine for Restaurant/Cora-sized tables; use PrefixFilterJoin for
+/// ACMPub scale.
+std::vector<std::pair<int, int>> AllPairsCandidates(
+    const FeatureCache& features, double tau);
+
+/// Convenience wrapper: builds a FeatureCache and runs the cached scan.
 std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
                                                     double tau);
 
@@ -24,6 +30,10 @@ enum class CandidateMethod {
 };
 
 /// Dispatches to AllPairsCandidates or PrefixFilterJoin (blocking/prefix_join.h).
+std::vector<std::pair<int, int>> GenerateCandidates(
+    const FeatureCache& features, double tau, CandidateMethod method);
+
+/// Convenience wrapper: builds a FeatureCache and dispatches.
 std::vector<std::pair<int, int>> GenerateCandidates(const Table& table,
                                                     double tau,
                                                     CandidateMethod method);

@@ -2,77 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
-#include <string>
+#include <cstdint>
 #include <unordered_map>
 
 #include "sim/tokenizer.h"
 #include "util/check.h"
 
 namespace power {
-namespace {
 
-// Token set of a record: word tokens over the concatenation of all attribute
-// values (must match sim/similarity_matrix.cc RecordLevelJaccard).
-std::vector<std::string> RecordTokens(const Table& table, int i) {
-  std::string all;
-  for (size_t k = 0; k < table.schema().num_attributes(); ++k) {
-    all += table.Value(i, k);
-    all += ' ';
-  }
-  return WordTokenSet(all);
-}
-
-// Overlap (intersection size) of two sorted int vectors.
-size_t Overlap(const std::vector<int>& a, const std::vector<int>& b) {
-  size_t inter = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++inter;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return inter;
-}
-
-}  // namespace
-
-std::vector<std::pair<int, int>> PrefixFilterJoin(const Table& table,
+std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
                                                   double tau) {
   POWER_CHECK(tau > 0.0 && tau <= 1.0);
-  const int n = static_cast<int>(table.num_records());
+  const int n = static_cast<int>(features.num_records());
 
-  // 1. Tokenize, build a global token dictionary with frequencies.
-  std::vector<std::vector<std::string>> raw_tokens(n);
-  std::unordered_map<std::string, int> freq;
+  // 1. Document frequency per interned token over the record-level spans.
+  //    The spans are sorted-unique, so this equals the per-record-set count
+  //    the string-keyed dictionary used to produce.
+  std::vector<int> freq(features.dict_size(), 0);
   for (int i = 0; i < n; ++i) {
-    raw_tokens[i] = RecordTokens(table, i);
-    for (const auto& t : raw_tokens[i]) ++freq[t];
+    for (int32_t id : features.RecordTokenIds(static_cast<size_t>(i))) {
+      ++freq[static_cast<size_t>(id)];
+    }
   }
 
-  // 2. Assign token ids so that rarer tokens get smaller ids; record token
-  //    vectors are then sorted by (frequency, token), putting the most
-  //    selective tokens in the prefix.
-  std::vector<std::pair<std::string, int>> vocab(freq.begin(), freq.end());
-  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second < b.second;
-    return a.first < b.first;
+  // 2. Re-rank so that rarer tokens get smaller ranks, ties broken by token
+  //    bytes — the exact (frequency, string) vocab order of the string path.
+  //    Record token vectors sorted by rank then put the most selective
+  //    tokens in the prefix.
+  std::vector<int32_t> used;
+  for (size_t id = 0; id < freq.size(); ++id) {
+    if (freq[id] > 0) used.push_back(static_cast<int32_t>(id));
+  }
+  std::sort(used.begin(), used.end(), [&](int32_t a, int32_t b) {
+    if (freq[static_cast<size_t>(a)] != freq[static_cast<size_t>(b)]) {
+      return freq[static_cast<size_t>(a)] < freq[static_cast<size_t>(b)];
+    }
+    return features.TokenString(a) < features.TokenString(b);
   });
-  std::unordered_map<std::string, int> token_id;
-  token_id.reserve(vocab.size());
-  for (size_t t = 0; t < vocab.size(); ++t) {
-    token_id[vocab[t].first] = static_cast<int>(t);
+  std::vector<int32_t> rank(features.dict_size(), -1);
+  for (size_t r = 0; r < used.size(); ++r) {
+    rank[static_cast<size_t>(used[r])] = static_cast<int32_t>(r);
   }
-  std::vector<std::vector<int>> tokens(n);
+  std::vector<std::vector<int32_t>> tokens(n);
   for (int i = 0; i < n; ++i) {
-    tokens[i].reserve(raw_tokens[i].size());
-    for (const auto& t : raw_tokens[i]) tokens[i].push_back(token_id[t]);
+    auto span = features.RecordTokenIds(static_cast<size_t>(i));
+    tokens[i].reserve(span.size());
+    for (int32_t id : span) tokens[i].push_back(rank[static_cast<size_t>(id)]);
     std::sort(tokens[i].begin(), tokens[i].end());
   }
 
@@ -87,8 +62,8 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const Table& table,
     return a < b;
   });
 
-  // Inverted index: token id -> records whose *prefix* contains it.
-  std::unordered_map<int, std::vector<int>> index;
+  // Inverted index: token rank -> records whose *prefix* contains it.
+  std::unordered_map<int32_t, std::vector<int>> index;
   std::vector<std::pair<int, int>> result;
   std::vector<int> last_seen(n, -1);  // probe-stamped candidate dedup
 
@@ -115,7 +90,8 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const Table& table,
         // Verification: Jaccard >= tau  <=>  overlap >= tau/(1+tau)*(|x|+|y|).
         double needed = tau / (1.0 + tau) *
                         static_cast<double>(len_x + len_y);
-        size_t inter = Overlap(tx, tokens[y]);
+        size_t inter = SortedIntersectionSize(
+            std::span<const int32_t>(tx), std::span<const int32_t>(tokens[y]));
         if (static_cast<double>(inter) + 1e-12 >= needed) {
           result.emplace_back(std::min(x, y), std::max(x, y));
         }
@@ -128,6 +104,12 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const Table& table,
   }
   std::sort(result.begin(), result.end());
   return result;
+}
+
+std::vector<std::pair<int, int>> PrefixFilterJoin(const Table& table,
+                                                  double tau) {
+  FeatureCache features(table);
+  return PrefixFilterJoin(features, tau);
 }
 
 }  // namespace power

@@ -1,0 +1,125 @@
+#ifndef POWER_SIM_FEATURE_CACHE_H_
+#define POWER_SIM_FEATURE_CACHE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "data/table.h"
+
+namespace power {
+
+/// Per-table record feature cache: every string-derived feature the
+/// similarity front end consumes, computed once on the deterministic pool
+/// and stored in flat CSR-style arenas (offsets + one contiguous value
+/// array per feature family):
+///
+///   lower bytes  — the lower-cased bytes of every cell, concatenated;
+///   word ids     — sorted-unique interned word-token ids per cell;
+///   bigram ids   — sorted-unique interned 2-gram ids per cell;
+///   record ids   — sorted-unique word-token ids over the whole record
+///                  (identical to WordTokenSet of the ' '-joined record);
+///   numerics     — the Trim+strtod parse of every cell, done once.
+///
+/// All token families share a single interned dictionary. Interning is a
+/// bijection between distinct token strings and their ids, so set sizes and
+/// sorted-span intersection counts — and therefore every similarity double
+/// computed from them — are byte-identical to the raw string path
+/// (tests/feature_cache_test.cc proves this differentially).
+///
+/// Determinism at any thread count: parallel passes shard over records with
+/// chunk boundaries that depend only on the record count, every record's
+/// output lands in its own slot, and token ids are assigned in a serial
+/// first-occurrence pass over cells in ascending order.
+///
+/// The cache borrows the table; it must not outlive it. Cost: one build is
+/// O(total value bytes) — it amortizes as soon as a record participates in
+/// more than a handful of pair comparisons, i.e. for any candidate
+/// generation or batch similarity pass (see DESIGN.md §10).
+class FeatureCache {
+ public:
+  explicit FeatureCache(const Table& table);
+
+  const Table& table() const { return *table_; }
+  size_t num_records() const { return n_; }
+  size_t num_attributes() const { return m_; }
+
+  /// Lower-cased bytes of table.Value(i, k) (== ToLower of the raw value).
+  std::string_view LowerValue(size_t i, size_t k) const {
+    const size_t c = cell(i, k);
+    return std::string_view(lower_bytes_)
+        .substr(lower_off_[c], lower_off_[c + 1] - lower_off_[c]);
+  }
+
+  /// Sorted-unique word-token ids of cell (i, k) (== WordTokenSet, interned).
+  std::span<const int32_t> WordTokenIds(size_t i, size_t k) const {
+    const size_t c = cell(i, k);
+    return {word_ids_.data() + word_off_[c], word_off_[c + 1] - word_off_[c]};
+  }
+
+  /// Sorted-unique bigram ids of cell (i, k) (== QGramSet(·, 2), interned).
+  std::span<const int32_t> BigramIds(size_t i, size_t k) const {
+    const size_t c = cell(i, k);
+    return {gram_ids_.data() + gram_off_[c], gram_off_[c + 1] - gram_off_[c]};
+  }
+
+  /// Sorted-unique word-token ids of the whole record — identical to
+  /// WordTokenSet over the ' '-joined concatenation of all attribute values
+  /// (the one definition RecordLevelJaccard and PrefixFilterJoin share).
+  std::span<const int32_t> RecordTokenIds(size_t i) const {
+    return {rec_ids_.data() + rec_off_[i], rec_off_[i + 1] - rec_off_[i]};
+  }
+
+  /// Cached numeric parse of the raw cell value; returns false (and leaves
+  /// *value at the cached 0.0) for non-numeric cells.
+  bool NumericValue(size_t i, size_t k, double* value) const {
+    const size_t c = cell(i, k);
+    *value = numeric_val_[c];
+    return numeric_ok_[c] != 0;
+  }
+
+  /// Interned dictionary: ids are dense in [0, dict_size()).
+  size_t dict_size() const { return dict_ref_.size(); }
+  std::string_view TokenString(int32_t id) const {
+    const auto& [off, len] = dict_ref_[static_cast<size_t>(id)];
+    return std::string_view(lower_bytes_).substr(off, len);
+  }
+
+ private:
+  size_t cell(size_t i, size_t k) const { return i * m_ + k; }
+
+  const Table* table_;
+  size_t n_ = 0;
+  size_t m_ = 0;
+
+  // Lower-cased bytes of all cells, concatenated; n*m+1 offsets.
+  std::string lower_bytes_;
+  std::vector<uint64_t> lower_off_;
+  // Sorted-unique token-id runs per cell (n*m+1 offsets each).
+  std::vector<int32_t> word_ids_;
+  std::vector<uint64_t> word_off_;
+  std::vector<int32_t> gram_ids_;
+  std::vector<uint64_t> gram_off_;
+  // Sorted-unique record-level word-token ids (n+1 offsets).
+  std::vector<int32_t> rec_ids_;
+  std::vector<uint64_t> rec_off_;
+  // Pre-parsed numerics, one slot per cell.
+  std::vector<double> numeric_val_;
+  std::vector<uint8_t> numeric_ok_;
+  // Token id -> (offset, length) into lower_bytes_.
+  std::vector<std::pair<uint64_t, uint32_t>> dict_ref_;
+};
+
+/// ComputeSimilarity(fn, table.Value(i,k), table.Value(j,k)) over cached
+/// features: sorted int-span intersections for the token families, Myers
+/// bit-parallel edit distance over the cached lowercase bytes, a cached
+/// double compare for numerics. Byte-identical to the raw-string path.
+double ComputeSimilarity(const FeatureCache& features, SimilarityFunction fn,
+                         size_t i, size_t j, size_t k);
+
+}  // namespace power
+
+#endif  // POWER_SIM_FEATURE_CACHE_H_

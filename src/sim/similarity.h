@@ -17,7 +17,17 @@ size_t EditDistance(std::string_view a, std::string_view b);
 size_t BoundedEditDistance(std::string_view a, std::string_view b,
                            size_t max_dist);
 
+/// Myers' bit-parallel Levenshtein distance: O(ceil(min(m,n)/64) * max(m,n))
+/// time, allocation-free for min(m,n) <= 64 (thread-local scratch above).
+/// Returns exactly the same integer as EditDistance on every input
+/// (tests/edit_distance_fuzz_test.cc); this is what the similarity hot path
+/// runs. Keep EditDistance as the reference DP and BoundedEditDistance as
+/// the Ukkonen-banded variant for bounded queries.
+size_t MyersEditDistance(std::string_view a, std::string_view b);
+
 /// Edit similarity, Eq. 2: 1 - ED(a,b) / max(|a|,|b|). Both empty -> 1.
+/// Case-insensitive; lowercases on the fly (no per-call string copies) and
+/// computes the distance with MyersEditDistance.
 double EditSimilarity(std::string_view a, std::string_view b);
 
 /// Word-token Jaccard, Eq. 1.
@@ -38,6 +48,11 @@ double OverlapCoefficient(std::string_view a, std::string_view b);
 /// [0, 1]; both zero -> 1. Non-numeric input falls back to BigramJaccard
 /// (so the function is safe on mixed columns like Cora's "pages").
 double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// The numeric parse NumericSimilarity and the feature cache share:
+/// Trim + strtod, accepting only a full-token parse. Allocation-free for
+/// trimmed values up to 127 bytes (thread-local buffer above that).
+bool ParseNumericValue(std::string_view s, double* value);
 
 /// Dispatches on the attribute's configured function.
 double ComputeSimilarity(SimilarityFunction fn, std::string_view a,

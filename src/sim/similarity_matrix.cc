@@ -8,6 +8,11 @@
 #include "util/parallel.h"
 
 namespace power {
+namespace {
+
+constexpr int64_t kPairGrain = 64;
+
+}  // namespace
 
 SimilarPair ComputePairSimilarity(const Table& table, int i, int j,
                                   double component_floor) {
@@ -27,23 +32,49 @@ SimilarPair ComputePairSimilarity(const Table& table, int i, int j,
   return p;
 }
 
+SimilarPair ComputePairSimilarity(const FeatureCache& features, int i, int j,
+                                  double component_floor) {
+  POWER_CHECK(i != j);
+  if (i > j) std::swap(i, j);
+  SimilarPair p;
+  p.i = i;
+  p.j = j;
+  const Schema& schema = features.table().schema();
+  p.sims.reserve(schema.num_attributes());
+  for (size_t k = 0; k < schema.num_attributes(); ++k) {
+    double s = ComputeSimilarity(features, schema.attribute(k).sim,
+                                 static_cast<size_t>(i),
+                                 static_cast<size_t>(j), k);
+    if (s < component_floor) s = 0.0;
+    p.sims.push_back(s);
+  }
+  return p;
+}
+
 std::vector<SimilarPair> ComputePairSimilarities(
-    const Table& table, const std::vector<std::pair<int, int>>& candidates,
+    const FeatureCache& features,
+    const std::vector<std::pair<int, int>>& candidates,
     double component_floor) {
   // Each pair's vector is independent and lands in its own slot, so the loop
   // shards over the pool; the output is positionally identical to the serial
   // loop's at any thread count.
-  constexpr int64_t kPairGrain = 64;
   std::vector<SimilarPair> out(candidates.size());
   ParallelFor(0, static_cast<int64_t>(candidates.size()), kPairGrain,
               [&](int64_t begin, int64_t end) {
                 for (int64_t p = begin; p < end; ++p) {
                   const auto& [i, j] = candidates[static_cast<size_t>(p)];
                   out[static_cast<size_t>(p)] =
-                      ComputePairSimilarity(table, i, j, component_floor);
+                      ComputePairSimilarity(features, i, j, component_floor);
                 }
               });
   return out;
+}
+
+std::vector<SimilarPair> ComputePairSimilarities(
+    const Table& table, const std::vector<std::pair<int, int>>& candidates,
+    double component_floor) {
+  FeatureCache features(table);
+  return ComputePairSimilarities(features, candidates, component_floor);
 }
 
 double RecordLevelJaccard(const Table& table, int i, int j) {
@@ -56,6 +87,11 @@ double RecordLevelJaccard(const Table& table, int i, int j) {
     b += ' ';
   }
   return JaccardOfSets(WordTokenSet(a), WordTokenSet(b));
+}
+
+double RecordLevelJaccard(const FeatureCache& features, int i, int j) {
+  return JaccardOfSets(features.RecordTokenIds(static_cast<size_t>(i)),
+                       features.RecordTokenIds(static_cast<size_t>(j)));
 }
 
 }  // namespace power

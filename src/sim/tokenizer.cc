@@ -65,4 +65,31 @@ double JaccardOfSets(const std::vector<std::string>& a,
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+size_t SortedIntersectionSize(std::span<const int32_t> a,
+                              std::span<const int32_t> b) {
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+double JaccardOfSets(std::span<const int32_t> a, std::span<const int32_t> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
 }  // namespace power

@@ -1,6 +1,8 @@
 #ifndef POWER_SIM_TOKENIZER_H_
 #define POWER_SIM_TOKENIZER_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +26,16 @@ size_t SortedIntersectionSize(const std::vector<std::string>& a,
 /// Jaccard coefficient of two *sorted-unique* token vectors.
 double JaccardOfSets(const std::vector<std::string>& a,
                      const std::vector<std::string>& b);
+
+/// Intersection size of two *sorted-unique* interned token-id spans
+/// (FeatureCache). Interning is a bijection, so the count equals the
+/// string-vector overload's on the same token sets.
+size_t SortedIntersectionSize(std::span<const int32_t> a,
+                              std::span<const int32_t> b);
+
+/// Jaccard coefficient of two *sorted-unique* token-id spans; same empty-set
+/// conventions (both empty -> 1, one empty -> 0) as the string overload.
+double JaccardOfSets(std::span<const int32_t> a, std::span<const int32_t> b);
 
 }  // namespace power
 

@@ -1,0 +1,315 @@
+#include "sim/feature_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/pair_generator.h"
+#include "blocking/prefix_join.h"
+#include "core/power.h"
+#include "crowd/answer_cache.h"
+#include "data/table.h"
+#include "sim/similarity.h"
+#include "sim/similarity_matrix.h"
+#include "sim/tokenizer.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+// Differential tests for the record feature cache (interned token ids,
+// cached lowercase bytes, pre-parsed numerics) against the legacy raw-string
+// similarity path, in the style of tests/selection_loop_trace_test.cc: the
+// cached front end must be *byte-identical in output* — every similarity
+// double, every candidate list, and the full end-to-end question/coloring
+// trace — at any thread count.
+
+namespace power {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Adversarial random tables: one attribute per similarity function, values
+// mixing empty cells, single characters, kilobyte strings, duplicated
+// tokens, parsable numerics and near-numeric garbage.
+// ---------------------------------------------------------------------------
+
+std::string RandomWord(Rng* rng, int max_len) {
+  int len = rng->UniformInt(1, max_len);
+  std::string w;
+  for (int c = 0; c < len; ++c) {
+    // Mixed case exercises the cached lowercase arena.
+    char base = rng->Bernoulli(0.3) ? 'A' : 'a';
+    w.push_back(static_cast<char>(base + rng->UniformInt(0, 5)));
+  }
+  return w;
+}
+
+std::string RandomValue(Rng* rng) {
+  switch (rng->UniformInt(0, 9)) {
+    case 0:
+      return "";
+    case 1:  // single char
+      return std::string(1, static_cast<char>('a' + rng->UniformInt(0, 25)));
+    case 2: {  // ~1k-char value (forces the blocked Myers path)
+      std::string big;
+      while (big.size() < 1000) {
+        big += RandomWord(rng, 8);
+        big.push_back(rng->Bernoulli(0.8) ? ' ' : '-');
+      }
+      return big;
+    }
+    case 3: {  // heavy token duplication
+      std::string dup;
+      std::string w = RandomWord(rng, 4);
+      for (int r = 0; r < rng->UniformInt(2, 6); ++r) {
+        dup += w;
+        dup += ' ';
+      }
+      dup += RandomWord(rng, 4);
+      return dup;
+    }
+    case 4: {  // parsable numeric, with whitespace padding
+      std::string num = "  ";
+      if (rng->Bernoulli(0.5)) num += '-';
+      num += std::to_string(rng->UniformInt(0, 5000));
+      if (rng->Bernoulli(0.5)) {
+        num += '.';
+        num += std::to_string(rng->UniformInt(0, 99));
+      }
+      if (rng->Bernoulli(0.3)) num += "e2";
+      num += ' ';
+      return num;
+    }
+    case 5:  // near-numeric garbage (strtod must reject the tail)
+      return std::to_string(rng->UniformInt(0, 999)) + "ab";
+    case 6:  // whitespace only
+      return "  \t ";
+    default: {  // ordinary multi-word value
+      std::string v;
+      int words = rng->UniformInt(1, 6);
+      for (int w = 0; w < words; ++w) {
+        if (w > 0) v.push_back(' ');
+        v += RandomWord(rng, 9);
+      }
+      return v;
+    }
+  }
+}
+
+Table MakeAdversarialTable(uint64_t seed, int num_records) {
+  Schema schema({{"a_jac", SimilarityFunction::kJaccard},
+                 {"a_edit", SimilarityFunction::kEditSimilarity},
+                 {"a_bigram", SimilarityFunction::kBigramJaccard},
+                 {"a_cos", SimilarityFunction::kCosine},
+                 {"a_over", SimilarityFunction::kOverlap},
+                 {"a_num", SimilarityFunction::kNumeric}});
+  Table table(schema);
+  Rng rng(seed);
+  for (int i = 0; i < num_records; ++i) {
+    Record r;
+    r.entity_id = rng.UniformInt(0, num_records / 3 + 1);
+    if (i > 0 && rng.Bernoulli(0.5)) {
+      // Near-duplicate of an earlier record (one attribute regenerated):
+      // guarantees pairs with high record-level Jaccard, so pruning
+      // thresholds keep real candidates.
+      size_t base = rng.UniformIndex(static_cast<size_t>(i));
+      r.values = table.record(base).values;
+      r.entity_id = table.record(base).entity_id;
+      r.values[rng.UniformIndex(schema.num_attributes())] = RandomValue(&rng);
+    } else {
+      for (size_t k = 0; k < schema.num_attributes(); ++k) {
+        r.values.push_back(RandomValue(&rng));
+      }
+    }
+    table.Add(std::move(r));
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Cached features reproduce the legacy tokenization exactly.
+// ---------------------------------------------------------------------------
+
+TEST(FeatureCacheTokens, FeaturesMatchLegacyTokenizationExactly) {
+  Table table = MakeAdversarialTable(/*seed=*/101, /*num_records=*/40);
+  FeatureCache features(table);
+  const size_t m = table.schema().num_attributes();
+
+  auto id_strings = [&](std::span<const int32_t> ids) {
+    std::vector<std::string> out;
+    for (int32_t id : ids) out.emplace_back(features.TokenString(id));
+    return out;
+  };
+
+  for (size_t i = 0; i < table.num_records(); ++i) {
+    std::string concat;
+    for (size_t k = 0; k < m; ++k) {
+      const std::string& raw = table.Value(i, k);
+      EXPECT_EQ(features.LowerValue(i, k), ToLower(raw));
+      // Interned spans decode to the exact sorted-unique legacy token sets
+      // (ids are assigned in first-occurrence order, not lexicographic, so
+      // compare as sets).
+      auto words = id_strings(features.WordTokenIds(i, k));
+      std::sort(words.begin(), words.end());
+      EXPECT_EQ(words, WordTokenSet(raw));
+      auto grams = id_strings(features.BigramIds(i, k));
+      std::sort(grams.begin(), grams.end());
+      EXPECT_EQ(grams, QGramSet(raw, 2));
+      double cached = 0.0;
+      double fresh = 0.0;
+      bool cached_ok = features.NumericValue(i, k, &cached);
+      ASSERT_EQ(cached_ok, ParseNumericValue(raw, &fresh));
+      if (cached_ok) {
+        EXPECT_EQ(cached, fresh);
+      }
+      concat += raw;
+      concat += ' ';
+    }
+    auto rec = id_strings(features.RecordTokenIds(i));
+    std::sort(rec.begin(), rec.end());
+    EXPECT_EQ(rec, WordTokenSet(concat));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every similarity double is bit-identical to the legacy string path, at
+// 1 and 8 threads.
+// ---------------------------------------------------------------------------
+
+TEST(FeatureCacheDifferential, SimilarityVectorsMatchLegacyBitForBit) {
+  constexpr double kFloor = 0.2;
+  for (uint64_t seed : {5u, 23u, 71u}) {
+    Table table = MakeAdversarialTable(seed, /*num_records=*/36);
+    const int n = static_cast<int>(table.num_records());
+
+    // Legacy reference: the raw-string per-pair path, serial.
+    std::vector<SimilarPair> legacy;
+    {
+      ScopedNumThreads scope(1);
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          legacy.push_back(ComputePairSimilarity(table, i, j, kFloor));
+        }
+      }
+    }
+
+    for (int threads : {1, 8}) {
+      ScopedNumThreads scope(threads);
+      FeatureCache features(table);
+      std::vector<std::pair<int, int>> all_pairs;
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) all_pairs.emplace_back(i, j);
+      }
+      std::vector<SimilarPair> cached =
+          ComputePairSimilarities(features, all_pairs, kFloor);
+      ASSERT_EQ(cached.size(), legacy.size());
+      for (size_t p = 0; p < cached.size(); ++p) {
+        EXPECT_EQ(cached[p].i, legacy[p].i);
+        EXPECT_EQ(cached[p].j, legacy[p].j);
+        ASSERT_EQ(cached[p].sims.size(), legacy[p].sims.size());
+        for (size_t k = 0; k < cached[p].sims.size(); ++k) {
+          // Exact double equality: the cached path must produce the same
+          // bits, not merely close values.
+          EXPECT_EQ(cached[p].sims[k], legacy[p].sims[k])
+              << "pair (" << cached[p].i << "," << cached[p].j
+              << ") attribute " << k << " seed " << seed << " threads "
+              << threads;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate generation: cached all-pairs scan and prefix-filter join both
+// reproduce the legacy string-path scan, at 1, 2 and 8 threads.
+// ---------------------------------------------------------------------------
+
+TEST(FeatureCacheDifferential, CandidateListsMatchLegacyAtEveryThreadCount) {
+  constexpr double kTau = 0.3;
+  for (uint64_t seed : {13u, 47u}) {
+    Table table = MakeAdversarialTable(seed, /*num_records=*/48);
+    const int n = static_cast<int>(table.num_records());
+
+    // Legacy reference: serial scan over the raw-string record Jaccard.
+    std::vector<std::pair<int, int>> legacy;
+    {
+      ScopedNumThreads scope(1);
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          if (RecordLevelJaccard(table, i, j) >= kTau) {
+            legacy.emplace_back(i, j);
+          }
+        }
+      }
+    }
+
+    for (int threads : {1, 2, 8}) {
+      ScopedNumThreads scope(threads);
+      FeatureCache features(table);
+      EXPECT_EQ(AllPairsCandidates(features, kTau), legacy)
+          << "all-pairs diverged, seed " << seed << " threads " << threads;
+      // The join returns the same pair set (its output is sorted, as is the
+      // legacy scan's (i asc, j asc) order).
+      EXPECT_EQ(PrefixFilterJoin(features, kTau), legacy)
+          << "prefix join diverged, seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: PowerFramework::Run over the cached front end replays the
+// exact question/coloring trace of the legacy string-path pipeline.
+// ---------------------------------------------------------------------------
+
+TEST(FeatureCacheEndToEnd, RunTraceMatchesLegacyPipelineAtEveryThreadCount) {
+  Table table = MakeAdversarialTable(/*seed=*/29, /*num_records=*/40);
+  const int n = static_cast<int>(table.num_records());
+
+  PowerConfig config;
+  config.prune_tau = 0.2;
+  config.component_floor = 0.2;
+  config.seed = 17;
+
+  // Legacy reference: candidates and similarity vectors via the raw-string
+  // path, resolved through RunOnPairs with its own crowd instance.
+  PowerResult legacy;
+  {
+    ScopedNumThreads scope(1);
+    std::vector<SimilarPair> pairs;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (RecordLevelJaccard(table, i, j) >= config.prune_tau) {
+          pairs.push_back(
+              ComputePairSimilarity(table, i, j, config.component_floor));
+        }
+      }
+    }
+    ASSERT_FALSE(pairs.empty());
+    CrowdOracle oracle(&table, Band90(), WorkerModel::kExactAccuracy,
+                       /*workers_per_question=*/5, /*seed=*/99);
+    PowerConfig serial = config;
+    serial.num_threads = 1;
+    legacy = PowerFramework(serial).RunOnPairs(pairs, &oracle);
+  }
+
+  for (int threads : {1, 2, 8}) {
+    PowerConfig cfg = config;
+    cfg.num_threads = threads;
+    // Crowd answers depend only on (seed, pair), so a fresh same-seed oracle
+    // answers identically to the legacy run's.
+    CrowdOracle oracle(&table, Band90(), WorkerModel::kExactAccuracy,
+                       /*workers_per_question=*/5, /*seed=*/99);
+    PowerResult cached = PowerFramework(cfg).Run(table, &oracle);
+    EXPECT_EQ(cached.num_pairs, legacy.num_pairs) << threads << " threads";
+    EXPECT_EQ(cached.questions, legacy.questions) << threads << " threads";
+    EXPECT_EQ(cached.iterations, legacy.iterations) << threads << " threads";
+    EXPECT_EQ(cached.matched_pairs, legacy.matched_pairs)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace power

@@ -50,8 +50,9 @@ TEST(JaccardOfSetsTest, PartialOverlap) {
 }
 
 TEST(JaccardOfSetsTest, EmptyConventions) {
-  EXPECT_DOUBLE_EQ(JaccardOfSets({}, {}), 1.0);
-  EXPECT_DOUBLE_EQ(JaccardOfSets({"a"}, {}), 0.0);
+  const std::vector<std::string> empty;
+  EXPECT_DOUBLE_EQ(JaccardOfSets(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardOfSets({"a"}, empty), 0.0);
 }
 
 TEST(JaccardOfSetsTest, PaperAddressExample) {
