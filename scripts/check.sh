@@ -1,22 +1,52 @@
 #!/usr/bin/env bash
-# Repo check gate:
-#   1. regular build + full ctest suite;
-#   2. ThreadSanitizer build running the parallel differential, determinism,
-#      fuzz, and pool tests (the PR gate for every change touching
-#      util/parallel.h or a sharded hot path).
+# Repo check gate, one leg per build tree:
+#   main  (build/)       regular build + full ctest suite;
+#   tsan  (build-tsan/)  ThreadSanitizer over the parallel differential,
+#                        determinism, fuzz, and pool tests (the PR gate for
+#                        every change touching util/parallel.h or a sharded
+#                        hot path);
+#   asan  (build-asan/)  ASan+UBSan (POWER_SANITIZE=address) over the full
+#                        suite — memory errors and UB at -O0-ish codegen;
+#   ubsan (build-ubsan/) UBSan alone (POWER_SANITIZE=undefined) at -O2 over
+#                        the full suite — integer overflow / bad shifts in
+#                        optimized codegen, which the asan tree's different
+#                        codegen can mask;
+#   lint                 scripts/lint.sh (clang-tidy when available, always
+#                        power-lint).
 #
-# Usage: scripts/check.sh [--tsan-only|--no-tsan]
+# Default run: main + tsan (the historical gate). Opt into the rest:
+#   scripts/check.sh --asan          main + tsan + asan
+#   scripts/check.sh --ubsan         main + tsan + ubsan
+#   scripts/check.sh --lint          main + tsan + lint
+#   scripts/check.sh --all           everything
+#   scripts/check.sh --tsan-only     tsan only
+#   scripts/check.sh --no-tsan       main only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_MAIN=1
 RUN_TSAN=1
-case "${1:-}" in
-  --tsan-only) RUN_MAIN=0 ;;
-  --no-tsan) RUN_TSAN=0 ;;
-  "") ;;
-  *) echo "unknown flag: $1" >&2; exit 2 ;;
+RUN_ASAN=0
+RUN_UBSAN=0
+RUN_LINT=0
+for flag in "$@"; do
+  case "$flag" in
+    --tsan-only) RUN_MAIN=0 ;;
+    --no-tsan) RUN_TSAN=0 ;;
+    --asan) RUN_ASAN=1 ;;
+    --ubsan) RUN_UBSAN=1 ;;
+    --lint) RUN_LINT=1 ;;
+    --all) RUN_ASAN=1; RUN_UBSAN=1; RUN_LINT=1 ;;
+    *) echo "unknown flag: $flag" >&2; exit 2 ;;
+  esac
+done
+
+# POWER_SANITIZE=address / POWER_SANITIZE=undefined in the environment force
+# the corresponding leg on (CI matrix entries use this instead of flags).
+case "${POWER_SANITIZE:-}" in
+  address) RUN_ASAN=1 ;;
+  undefined) RUN_UBSAN=1 ;;
 esac
 
 # The parallel harness: differential (parallel output == serial output),
@@ -49,6 +79,40 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # Exercise the pool beyond any single test's thread count.
   (cd build-tsan && POWER_THREADS=8 ctest --output-on-failure -j 2 \
       --tests-regex "$PARALLEL_TESTS")
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== build (ASan+UBSan) =="
+  cmake -B build-asan -S . \
+    -DPOWER_SANITIZE=address \
+    -DPOWER_BUILD_BENCHMARKS=OFF \
+    -DPOWER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j >/dev/null
+  echo "== ctest (full suite under ASan+UBSan) =="
+  (cd build-asan && \
+      ASAN_OPTIONS=detect_leaks=1 \
+      UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ctest --output-on-failure -j)
+fi
+
+if [[ "$RUN_UBSAN" == 1 ]]; then
+  echo "== build (UBSan @ -O2) =="
+  # Default build type (RelWithDebInfo, -O2): UBSan is cheap enough to ride
+  # on optimized codegen, which is the point of this leg.
+  cmake -B build-ubsan -S . \
+    -DPOWER_SANITIZE=undefined \
+    -DPOWER_BUILD_BENCHMARKS=OFF \
+    -DPOWER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-ubsan -j >/dev/null
+  echo "== ctest (full suite under UBSan) =="
+  (cd build-ubsan && \
+      UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ctest --output-on-failure -j)
+fi
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  echo "== lint (clang-tidy + power-lint) =="
+  scripts/lint.sh
 fi
 
 echo "OK"

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""power-lint: repo-specific determinism & concurrency invariants.
+
+Checks that clang-tidy cannot express, enforced over every translation unit
+named in the compilation database (or, without one, every C++ file under the
+given roots):
+
+  unordered-iter   No range-for iteration over std::unordered_map /
+                   std::unordered_set in result-producing code (src/).
+                   Hash-bucket order is an implementation detail of the
+                   standard library: iterating it leaks that order into
+                   emitted results, breaking the repo invariant that every
+                   output is byte-identical across thread counts, platforms,
+                   and stdlib versions. Membership tests (find / count /
+                   contains / insert) are fine; to walk contents, copy into
+                   a vector and sort, or use std::map / a flat container.
+
+  raw-random       No std::rand / srand / random_device / time(...) seeding
+                   outside util/rng.*. All randomness flows through the
+                   seeded power::Rng so every run is reproducible from its
+                   config.
+
+  naked-thread     No std::thread / std::async / std::jthread outside
+                   util/parallel.{h,cc}. All parallelism goes through the
+                   deterministic ThreadPool/ParallelFor substrate, whose
+                   chunking keeps results thread-count-invariant.
+
+Suppression: a line, or the line directly above it, containing
+    power-lint: allow(<rule>)
+disables <rule> for that line. Each allow should carry a short justification
+(e.g. an order-insensitivity argument for unordered-iter).
+
+Usage:
+    scripts/power_lint.py [--compile-commands build/compile_commands.json]
+                          [ROOT ...]        # default roots: src tests bench
+Exit status: 0 when clean, 1 when any finding, 2 on usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+# `for (... : expr)` — the range expression is the last token run before `)`.
+RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
+ALLOW = re.compile(r"power-lint:\s*allow\(([a-z-]+)\)")
+
+RAW_RANDOM = re.compile(
+    r"(?<![\w:])(?:std::)?(?:rand|srand)\s*\(|std::random_device\b"
+    r"|(?<![\w:.])time\s*\(")
+NAKED_THREAD = re.compile(
+    r"\bstd::(?:thread|jthread|async)\b")
+
+CONTINUATION_TYPE = re.compile(r"^\s*(?:const\s+)?std::unordered_")
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and blanks out string/char literals (keeps len)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                out.append(" ")
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def unordered_names(lines):
+    """Names declared (variable, member, or parameter) with an unordered type.
+
+    Heuristic, line-based: a declaration line mentioning std::unordered_* is
+    scanned for the identifiers that follow the closing template bracket.
+    Multi-line declarations contribute the identifiers on the line where the
+    type ends. Good enough for this codebase's style (clang-format'd, one
+    declaration per statement).
+    """
+    names = set()
+    for raw in lines:
+        line = strip_comments_and_strings(raw)
+        if "unordered_" not in line:
+            continue
+        for m in UNORDERED_DECL.finditer(line):
+            depth = 0
+            i = m.end() - 1
+            while i < len(line):
+                if line[i] == "<":
+                    depth += 1
+                elif line[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = line[i + 1:]
+            # `> name`, `>& name`, `>* name`, `> name = ...`, `> name;`
+            dm = re.match(r"[&*\s]*([A-Za-z_]\w*)", tail)
+            if dm and dm.group(1) not in ("const",):
+                names.add(dm.group(1))
+    return names
+
+
+def allowed(lines, idx, rule):
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW.search(lines[probe])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def check_file(path, rel, findings):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        findings.append((rel, 0, "io", str(e)))
+        return
+
+    in_src = rel.startswith("src/") or rel.startswith("src" + os.sep)
+    is_rng = re.search(r"(^|/)util/rng\.(h|cc)$", rel.replace(os.sep, "/"))
+    is_pool = re.search(r"(^|/)util/parallel\.(h|cc)$",
+                        rel.replace(os.sep, "/"))
+
+    if in_src:
+        names = unordered_names(lines)
+        for idx, raw in enumerate(lines):
+            line = strip_comments_and_strings(raw)
+            for m in RANGE_FOR.finditer(line):
+                expr = m.group(1)
+                base = re.split(r"[.\->]", expr)[0]
+                if base in names or expr in names:
+                    if not allowed(lines, idx, "unordered-iter"):
+                        findings.append((
+                            rel, idx + 1, "unordered-iter",
+                            f"range-for over unordered container '{expr}' — "
+                            "hash order leaks into results; sort first or "
+                            "use an ordered/flat container"))
+
+    for idx, raw in enumerate(lines):
+        line = strip_comments_and_strings(raw)
+        if not is_rng and RAW_RANDOM.search(line):
+            if not allowed(lines, idx, "raw-random"):
+                findings.append((
+                    rel, idx + 1, "raw-random",
+                    "unseeded randomness / wall-clock seeding — use the "
+                    "seeded power::Rng (util/rng.h)"))
+        if not is_pool and NAKED_THREAD.search(line):
+            if not allowed(lines, idx, "naked-thread"):
+                findings.append((
+                    rel, idx + 1, "naked-thread",
+                    "raw std::thread/std::async — all parallelism goes "
+                    "through ThreadPool/ParallelFor (util/parallel.h)"))
+
+
+def collect_files(repo, compile_commands, roots):
+    files = set()
+    if compile_commands and os.path.exists(compile_commands):
+        with open(compile_commands, encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = os.path.normpath(
+                    os.path.join(entry.get("directory", "."), entry["file"]))
+                rel = os.path.relpath(p, repo)
+                if not rel.startswith(".."):
+                    files.add(rel)
+    for root in roots:
+        absroot = os.path.join(repo, root)
+        for dirpath, _, filenames in os.walk(absroot):
+            for name in filenames:
+                if name.endswith((".cc", ".h", ".cpp", ".hpp")):
+                    files.add(os.path.relpath(
+                        os.path.join(dirpath, name), repo))
+    return sorted(files)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compile-commands",
+                        default=os.path.join(REPO, "build",
+                                             "compile_commands.json"),
+                        help="compilation database to read the TU list from")
+    parser.add_argument("roots", nargs="*", default=None,
+                        help="directories to scan (default: src tests bench)")
+    args = parser.parse_args(argv)
+    repo = REPO
+    roots = args.roots if args.roots else ["src", "tests", "bench"]
+    # When pointed at a fixture tree (the lint's own test), treat the first
+    # root's parent as the repo so src/-relative rules resolve there.
+    if args.roots and os.path.isabs(args.roots[0]):
+        repo = os.path.dirname(os.path.abspath(args.roots[0]))
+        roots = [os.path.basename(os.path.abspath(r)) for r in args.roots]
+
+    findings = []
+    for rel in collect_files(repo, args.compile_commands, roots):
+        check_file(os.path.join(repo, rel), rel, findings)
+
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"power-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("power-lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

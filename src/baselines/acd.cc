@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/similarity_matrix.h"
 #include "util/rng.h"
@@ -56,18 +58,36 @@ class CorrelationClustering {
       for (int v : order) {
         auto it = adj_.find(v);
         if (it == adj_.end()) continue;
-        std::unordered_map<int, double> gain;
+        // Aggregate per-cluster gains by sorting the incident entries on
+        // cluster id: both the fp summation order and the winner of a
+        // gain tie are then pure functions of the input (a hash map here
+        // would break both on ties / reordered buckets).
+        gain_scratch_.clear();
         for (const Edge& e : it->second) {
-          gain[cluster[e.other]] += e.weight;
+          if (cluster[e.other] != -1) {
+            gain_scratch_.push_back({cluster[e.other], e.weight});
+          }
         }
-        gain.erase(-1);
+        std::sort(gain_scratch_.begin(), gain_scratch_.end(),
+                  [](const std::pair<int, double>& a,
+                     const std::pair<int, double>& b) {
+                    return a.first < b.first;
+                  });
         int best_cluster = next_cluster;  // fresh singleton
         double best_gain = 0.0;
-        for (const auto& [c, g] : gain) {
+        for (size_t i = 0; i < gain_scratch_.size();) {
+          size_t j = i;
+          double g = 0.0;
+          while (j < gain_scratch_.size() &&
+                 gain_scratch_[j].first == gain_scratch_[i].first) {
+            g += gain_scratch_[j].second;
+            ++j;
+          }
           if (g > best_gain) {
             best_gain = g;
-            best_cluster = c;
+            best_cluster = gain_scratch_[i].first;
           }
+          i = j;
         }
         if (best_cluster != cluster[v]) {
           if (best_cluster == next_cluster) ++next_cluster;
@@ -83,7 +103,8 @@ class CorrelationClustering {
  private:
   int num_records_;
   Rng rng_;
-  std::unordered_map<int, std::vector<Edge>> adj_;
+  std::unordered_map<int, std::vector<Edge>> adj_;  // lookup-only (no iteration)
+  std::vector<std::pair<int, double>> gain_scratch_;
 };
 
 }  // namespace
@@ -195,9 +216,15 @@ ErResult RunAcd(const Table& table,
     }
   }
 
-  std::unordered_map<int, std::vector<int>> members;
-  for (int v = 0; v < n; ++v) members[cluster[v]].push_back(v);
-  for (const auto& [c, records] : members) {
+  // Cluster ids are dense-ish small ints from the clustering's counter, so a
+  // plain vector indexed by id gives a deterministic member walk.
+  int max_cluster = -1;
+  for (int v = 0; v < n; ++v) max_cluster = std::max(max_cluster, cluster[v]);
+  std::vector<std::vector<int>> members(static_cast<size_t>(max_cluster + 1));
+  for (int v = 0; v < n; ++v) {
+    members[static_cast<size_t>(cluster[v])].push_back(v);
+  }
+  for (const auto& records : members) {
     for (size_t a = 0; a < records.size(); ++a) {
       for (size_t b = a + 1; b < records.size(); ++b) {
         result.matched_pairs.insert(PairKey(records[a], records[b]));

@@ -1,5 +1,8 @@
 #include "baselines/cluster_state.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/check.h"
 
 namespace power {
@@ -40,10 +43,14 @@ bool ClusterState::Union(int a, int b) {
   if (rank_[ra] == rank_[rb]) ++rank_[ra];
   parent_[rb] = ra;
 
-  // Re-home rb's constraints onto ra.
+  // Re-home rb's constraints onto ra, walking them in sorted order so the
+  // rebuilt diff_ sets grow identically on every run (set contents are
+  // order-insensitive, but a fixed order costs nothing and keeps the whole
+  // method a pure function of its call sequence).
   auto itb = diff_.find(rb);
   if (itb != diff_.end()) {
-    std::unordered_set<int> moved = std::move(itb->second);
+    std::vector<int> moved(itb->second.begin(), itb->second.end());
+    std::sort(moved.begin(), moved.end());
     diff_.erase(itb);
     for (int other : moved) {
       diff_[other].erase(rb);
@@ -79,13 +86,21 @@ std::unordered_set<uint64_t> ClusterState::MatchedPairs() {
 }
 
 std::vector<std::vector<int>> ClusterState::Clusters() {
-  std::unordered_map<int, std::vector<int>> by_root;
-  for (size_t x = 0; x < parent_.size(); ++x) {
-    by_root[Find(static_cast<int>(x))].push_back(static_cast<int>(x));
-  }
+  // Union-by-rank roots depend on the union order, so hashing by root would
+  // leak that order (and the hash layout) into the cluster sequence. Walking
+  // record ids ascending and assigning each root a slot on first sight emits
+  // clusters ordered by their minimum member, members ascending — a pure
+  // function of the partition itself.
+  std::vector<int> slot(parent_.size(), -1);
   std::vector<std::vector<int>> out;
-  out.reserve(by_root.size());
-  for (auto& [root, members] : by_root) out.push_back(std::move(members));
+  for (size_t x = 0; x < parent_.size(); ++x) {
+    int root = Find(static_cast<int>(x));
+    if (slot[root] == -1) {
+      slot[root] = static_cast<int>(out.size());
+      out.emplace_back();
+    }
+    out[static_cast<size_t>(slot[root])].push_back(static_cast<int>(x));
+  }
   return out;
 }
 

@@ -1,6 +1,6 @@
 #include "data/table.h"
 
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -33,7 +33,7 @@ size_t Table::CountEntities() const {
 }
 
 size_t Table::CountMatchingPairs() const {
-  std::unordered_map<int, size_t> cluster_sizes;
+  std::map<int, size_t> cluster_sizes;
   for (const auto& r : records_) ++cluster_sizes[r.entity_id];
   size_t pairs = 0;
   for (const auto& [entity, size] : cluster_sizes) {

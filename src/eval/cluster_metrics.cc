@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/pair.h"
 
@@ -38,7 +38,13 @@ class DisjointSets {
 std::vector<std::vector<int>> BuildClusters(
     size_t num_records, const std::unordered_set<uint64_t>& matched_pairs) {
   DisjointSets sets(num_records);
-  for (uint64_t key : matched_pairs) {
+  // This DisjointSets links the larger root under the smaller, so the final
+  // partition is independent of union order; sorting the keys anyway keeps
+  // the whole function a pure function of the *set* at negligible eval-path
+  // cost, with no order-insensitivity argument to maintain.
+  std::vector<uint64_t> keys(matched_pairs.begin(), matched_pairs.end());
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
     sets.Union(PairKeyFirst(key), PairKeySecond(key));
   }
   std::map<int, std::vector<int>> by_root;
@@ -58,7 +64,7 @@ ClusterMetrics ComputeClusterMetrics(
   if (n == 0) return out;
 
   std::vector<std::vector<int>> predicted = BuildClusters(n, matched_pairs);
-  std::unordered_map<int, std::vector<int>> truth_by_entity;
+  std::map<int, std::vector<int>> truth_by_entity;
   for (const auto& r : table.records()) {
     truth_by_entity[r.entity_id].push_back(r.id);
   }
@@ -89,9 +95,11 @@ ClusterMetrics ComputeClusterMetrics(
   for (size_t c = 0; c < predicted.size(); ++c) {
     for (int r : predicted[c]) pred_label[r] = static_cast<int>(c);
   }
+  // Ordered maps: the choose2 sums below are floating-point, so iteration
+  // order reaches the result bits.
   std::map<std::pair<int, int>, size_t> cell;
-  std::unordered_map<int, size_t> pred_sizes;
-  std::unordered_map<int, size_t> true_sizes;
+  std::map<int, size_t> pred_sizes;
+  std::map<int, size_t> true_sizes;
   for (const auto& r : table.records()) {
     ++cell[{pred_label[r.id], r.entity_id}];
     ++pred_sizes[pred_label[r.id]];

@@ -1,6 +1,6 @@
 #include "eval/ground_truth.h"
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/pair.h"
@@ -8,7 +8,10 @@
 namespace power {
 
 std::unordered_set<uint64_t> TrueMatchPairs(const Table& table) {
-  std::unordered_map<int, std::vector<int>> by_entity;
+  // Ordered map: the emitted pair set is order-insensitive, but iterating a
+  // hash map in result code is banned outright (power-lint) — eval paths use
+  // std::map where the key walk leaks into any output.
+  std::map<int, std::vector<int>> by_entity;
   for (const auto& r : table.records()) {
     by_entity[r.entity_id].push_back(r.id);
   }

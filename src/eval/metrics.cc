@@ -21,6 +21,8 @@ PrecisionRecallF ComputePrf(const std::unordered_set<uint64_t>& predicted,
   size_t hits = 0;
   const auto& smaller = predicted.size() <= truth.size() ? predicted : truth;
   const auto& larger = predicted.size() <= truth.size() ? truth : predicted;
+  // power-lint: allow(unordered-iter) — pure integer intersection count;
+  // every iteration order yields the same `hits`.
   for (uint64_t key : smaller) {
     if (larger.count(key) > 0) ++hits;
   }

@@ -1,7 +1,6 @@
 #include "graph/graph_stats.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "select/path_cover.h"
 #include "util/check.h"
@@ -35,7 +34,6 @@ std::vector<std::pair<int, int>> TransitiveReduction(const PairGraph& graph) {
   std::vector<std::pair<int, int>> reduced;
   for (size_t u = 0; u < graph.num_vertices(); ++u) {
     const auto& children = graph.children(static_cast<int>(u));
-    std::unordered_set<int> child_set(children.begin(), children.end());
     for (int v : children) {
       // u -> v is redundant iff some other child w of u reaches v.
       bool redundant = false;

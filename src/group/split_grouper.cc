@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <utility>
 
 #include "util/check.h"
 
@@ -44,10 +44,14 @@ std::vector<VertexGroup> SplitGrouper::Group(
       continue;
     }
     // Distribute members into the 2^t children by the halves they fall in:
-    // [l, (l+u)/2] vs ((l+u)/2, u] on every split attribute. Empty children
-    // are never materialized.
-    std::unordered_map<uint64_t, std::vector<int>> children;
+    // [l, (l+u)/2] vs ((l+u)/2, u] on every split attribute. Keying each
+    // member and stable-sorting by key (instead of hashing into buckets)
+    // keeps the child order — and therefore the emitted group order — a
+    // pure function of the input: children ascend by key, members keep
+    // their relative order within a child. Empty children never appear.
     POWER_CHECK_MSG(split_dims.size() <= 63, "too many split attributes");
+    std::vector<std::pair<uint64_t, int>> keyed;
+    keyed.reserve(node.size());
     for (int v : node) {
       uint64_t key = 0;
       for (size_t t = 0; t < split_dims.size(); ++t) {
@@ -55,12 +59,24 @@ std::vector<VertexGroup> SplitGrouper::Group(
         double mid = (lo[k] + hi[k]) / 2.0;
         if (sims[v][k] > mid) key |= (1ULL << t);
       }
-      children[key].push_back(v);
+      keyed.emplace_back(key, v);
     }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const std::pair<uint64_t, int>& a,
+                        const std::pair<uint64_t, int>& b) {
+                       return a.first < b.first;
+                     });
     // Every split halves at least one attribute range, so recursion depth is
     // bounded by log2(range/epsilon) per attribute and terminates.
-    for (auto& [key, members] : children) {
+    for (size_t i = 0; i < keyed.size();) {
+      size_t j = i;
+      std::vector<int> members;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) {
+        members.push_back(keyed[j].second);
+        ++j;
+      }
       queue.push_back(std::move(members));
+      i = j;
     }
   }
   return result;

@@ -40,9 +40,9 @@ thread_local bool tls_in_pool_task = false;
 // changes. shared_ptr keeps a pool alive for callers still inside Run()
 // while a concurrent caller swaps in a differently-sized one.
 std::shared_ptr<ThreadPool> GetPool(int num_threads) {
-  static std::mutex mu;
-  static std::shared_ptr<ThreadPool> pool;
-  std::lock_guard<std::mutex> lock(mu);
+  static Mutex mu;
+  static std::shared_ptr<ThreadPool> pool;  // guarded by mu
+  MutexLock lock(mu);
   if (!pool || pool->num_workers() != num_threads - 1) {
     pool = std::make_shared<ThreadPool>(num_threads - 1);
   }
@@ -123,10 +123,10 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -136,22 +136,26 @@ void ThreadPool::Run(size_t num_tasks, const std::function<void(size_t)>& task) 
   // job_mu_: the outer job cannot finish while its task blocks here.
   assert(!tls_in_pool_task &&
          "ThreadPool::Run must not be called from inside a pool task");
-  std::lock_guard<std::mutex> job_lock(job_mu_);
+  MutexLock job_lock(job_mu_);
   auto job = std::make_shared<Job>();
   job->task = &task;
   job->num_tasks = num_tasks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = job;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   WorkJob(*job);  // the caller participates
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return job->done.load(std::memory_order_acquire) >= num_tasks;
-  });
-  job_ = nullptr;
+  {
+    MutexLock lock(mu_);
+    // The predicate reads only Job::done (an atomic the workers update
+    // without mu_); mu_ is held across the wait purely for the cv protocol.
+    done_cv_.Wait(mu_, [&] {
+      return job->done.load(std::memory_order_acquire) >= num_tasks;
+    });
+    job_ = nullptr;
+  }
   // `job` (and with it the validity window of job->task, which points at the
   // caller's function) ends here; a worker still holding this Job sees an
   // exhausted cursor and never dereferences task again.
@@ -172,8 +176,8 @@ void ThreadPool::WorkJob(Job& job) {
           job.num_tasks) {
     // Lock so the notify cannot slip between the waiter's predicate check
     // and its wait.
-    std::lock_guard<std::mutex> lock(mu_);
-    done_cv_.notify_all();
+    MutexLock lock(mu_);
+    done_cv_.NotifyAll();
   }
 }
 
@@ -182,9 +186,13 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || (epoch_ != seen_epoch && job_); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [&] {
+        // CondVar::Wait only invokes the predicate with mu_ held; the
+        // analysis cannot see that through the std::function boundary.
+        mu_.AssertHeld();
+        return stop_ || (epoch_ != seen_epoch && job_);
+      });
       if (stop_) return;
       seen_epoch = epoch_;
       job = job_;

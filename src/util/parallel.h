@@ -2,14 +2,15 @@
 #define POWER_UTIL_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace power {
 
@@ -101,7 +102,8 @@ class ThreadPool {
   /// a task running on this pool — doing so self-deadlocks on the job mutex
   /// (asserted in debug builds; ParallelFor guards against this itself by
   /// running nested loops inline). task must not throw.
-  void Run(size_t num_tasks, const std::function<void(size_t)>& task);
+  void Run(size_t num_tasks, const std::function<void(size_t)>& task)
+      POWER_EXCLUDES(job_mu_, mu_);
 
  private:
   // Per-job state. Each Run() allocates a fresh Job so a worker that stalls
@@ -115,20 +117,22 @@ class ThreadPool {
     std::atomic<size_t> done{0};  // tasks finished
   };
 
-  void WorkerLoop();
+  void WorkerLoop() POWER_EXCLUDES(mu_);
   // Claims and runs tasks of `job` until its cursor is exhausted.
-  void WorkJob(Job& job);
+  void WorkJob(Job& job) POWER_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex job_mu_;  // serializes Run() callers
+  Mutex job_mu_;  // serializes Run() callers
 
-  std::mutex mu_;  // guards the fields below
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Job> job_;
-  uint64_t epoch_ = 0;
-  bool stop_ = false;
+  // mu_ guards the job-handoff state below; work_cv_ signals a new epoch to
+  // the workers, done_cv_ signals job completion back to Run.
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::shared_ptr<Job> job_ POWER_GUARDED_BY(mu_);
+  uint64_t epoch_ POWER_GUARDED_BY(mu_) = 0;
+  bool stop_ POWER_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace power

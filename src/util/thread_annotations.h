@@ -1,0 +1,77 @@
+#ifndef POWER_UTIL_THREAD_ANNOTATIONS_H_
+#define POWER_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (the Abseil/LLVM idiom).
+///
+/// These make the locking discipline of a class part of its type: members
+/// declare which mutex guards them (POWER_GUARDED_BY), functions declare
+/// which mutexes they need held (POWER_REQUIRES) or acquire/release
+/// (POWER_ACQUIRE / POWER_RELEASE), and `clang -Wthread-safety` rejects any
+/// call site that violates the declaration — at compile time, before TSan
+/// ever runs. Under compilers without the analysis (GCC) the macros expand
+/// to nothing, so annotated code builds everywhere.
+///
+/// The analysis only tracks types that are themselves declared capabilities;
+/// std::mutex in libstdc++ is not, so lockable state in this repo uses
+/// power::Mutex / power::MutexLock / power::CondVar (util/mutex.h), thin
+/// annotated wrappers over the std primitives.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define POWER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define POWER_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" names the kind).
+#define POWER_CAPABILITY(x) POWER_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define POWER_SCOPED_CAPABILITY POWER_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member is protected by the given mutex.
+#define POWER_GUARDED_BY(x) POWER_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer) is protected.
+#define POWER_PT_GUARDED_BY(x) POWER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that callers must hold the given mutex(es).
+#define POWER_REQUIRES(...) \
+  POWER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the given mutex(es) (deadlock guard
+/// for functions that acquire them internally).
+#define POWER_EXCLUDES(...) \
+  POWER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns with them held.
+#define POWER_ACQUIRE(...) \
+  POWER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es).
+#define POWER_RELEASE(...) \
+  POWER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function returns true iff it acquired the mutex.
+#define POWER_TRY_ACQUIRE(...) \
+  POWER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Returns a reference to the mutex guarding the decorated function's
+/// result (used on accessors handing out guarded state).
+#define POWER_RETURN_CAPABILITY(x) \
+  POWER_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts (to the analysis, not at runtime) that the calling thread holds
+/// the capability. Used inside lambdas that provably run under a lock the
+/// analysis cannot see across the call boundary (condition-variable
+/// predicates).
+#define POWER_ASSERT_CAPABILITY(x) \
+  POWER_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis inside one function. Use only with a
+/// comment explaining why the function is safe (e.g. init/teardown code that
+/// runs before/after any concurrency exists).
+#define POWER_NO_THREAD_SAFETY_ANALYSIS \
+  POWER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // POWER_UTIL_THREAD_ANNOTATIONS_H_

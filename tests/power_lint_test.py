@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fixture test for scripts/power_lint.py (ctest target power_lint_test).
+
+Proves the lint (1) passes the real tree, (2) flags each rule on a seeded
+violation, (3) honors allow() suppressions — so a silent regression in the
+checker (never firing again) cannot pass the gate.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO, "scripts", "power_lint.py")
+
+FAILURES = []
+
+
+def run_lint(args):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--compile-commands", "/nonexistent"] + args,
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(name, cond, detail=""):
+    if cond:
+        print(f"ok   {name}")
+    else:
+        print(f"FAIL {name}: {detail}")
+        FAILURES.append(name)
+
+
+VIOLATIONS = """\
+#include <ctime>
+#include <thread>
+#include <unordered_map>
+
+void Bad() {
+  std::unordered_map<int, int> counts;
+  for (const auto& [k, v] : counts) {  // hash-order leak
+    (void)k;
+  }
+  unsigned seed = time(nullptr);
+  (void)seed;
+  std::thread t([] {});
+  t.join();
+}
+"""
+
+SUPPRESSED = """\
+#include <unordered_map>
+
+int Ok() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // power-lint: allow(unordered-iter) — integer sum, order-insensitive.
+  for (const auto& [k, v] : counts) total += v;
+  return total;
+}
+"""
+
+
+def main():
+    # 1. The real tree is clean.
+    code, out = run_lint([])
+    expect("real tree clean", code == 0, out)
+
+    # 2. A seeded fixture trips every rule.
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "src")
+        os.makedirs(src)
+        with open(os.path.join(src, "bad.cc"), "w") as f:
+            f.write(VIOLATIONS)
+        code, out = run_lint([src])
+        expect("fixture flagged", code == 1, out)
+        expect("unordered-iter fires", "unordered-iter" in out, out)
+        expect("raw-random fires", "raw-random" in out, out)
+        expect("naked-thread fires", "naked-thread" in out, out)
+
+    # 3. allow() suppresses, and only the named rule.
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "src")
+        os.makedirs(src)
+        with open(os.path.join(src, "ok.cc"), "w") as f:
+            f.write(SUPPRESSED)
+        code, out = run_lint([src])
+        expect("suppression honored", code == 0, out)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("all power-lint self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,8 +107,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, AllSelectors,
                                            SelectorKind::kSinglePath,
                                            SelectorKind::kMultiPath,
                                            SelectorKind::kTopoSort),
-                         [](const auto& info) {
-                           return SelectorKindName(info.param);
+                         [](const auto& param_info) {
+                           return SelectorKindName(param_info.param);
                          });
 
 TEST(SinglePathTest, BinarySearchQuestionCountOnChain) {
