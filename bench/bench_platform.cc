@@ -1,0 +1,193 @@
+// Marketplace resilience benchmark: what each FaultProfile costs the
+// requester — extra HIT postings, retry/backoff waits on the simulated
+// clock, rejected-assignment savings — and what it costs the serving loop
+// (re-queues, degradations), for the full Power pipeline over the
+// platform simulation (PlatformOracle -> Requester -> CrowdPlatform).
+//
+// Usage:
+//   bench_platform [--smoke] [--json <path>]
+//
+// --smoke shrinks the dataset so the binary runs in well under a second; it
+// is wired as the `bench_platform_smoke` ctest target to catch rot. --json
+// writes the result rows as a JSON array (consumed by BENCH_platform.json).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "core/power.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "platform/platform.h"
+#include "platform/platform_oracle.h"
+#include "platform/requester.h"
+#include "util/stopwatch.h"
+
+namespace power {
+namespace bench {
+namespace {
+
+struct NamedFault {
+  std::string name;
+  FaultProfile fault;
+};
+
+std::vector<NamedFault> FaultGrid() {
+  std::vector<NamedFault> grid;
+  grid.push_back({"none", {}});
+  FaultProfile abandon;
+  abandon.abandon_prob = 0.5;
+  grid.push_back({"abandon", abandon});
+  FaultProfile spam;
+  spam.spammer_rate = 0.3;
+  grid.push_back({"spam", spam});
+  FaultProfile slow;
+  slow.slow_tail_prob = 0.2;
+  slow.slow_tail_multiplier = 10.0;
+  slow.assignment_timeout_seconds = 600.0;
+  grid.push_back({"slow+timeout", slow});
+  FaultProfile combined;
+  combined.abandon_prob = 0.4;
+  combined.spammer_rate = 0.2;
+  combined.slow_tail_prob = 0.2;
+  combined.slow_tail_multiplier = 10.0;
+  combined.assignment_timeout_seconds = 600.0;
+  grid.push_back({"combined", combined});
+  return grid;
+}
+
+struct FaultRow {
+  std::string profile;
+  size_t questions = 0;
+  size_t rounds = 0;
+  size_t hits_posted = 0;
+  size_t reposted = 0;    // question reposts inside the requester
+  size_t requeued = 0;    // framework-level re-queues (requester exhausted)
+  size_t degraded = 0;    // fell back to the §6 machine answer
+  size_t rejected = 0;    // assignments rejected (not paid)
+  double sim_hours = 0.0; // simulated clock at the end (crowd + backoff)
+  double dollars = 0.0;   // realized cost: approved assignments only
+  double wall_seconds = 0.0;
+  double f1 = 0.0;
+};
+
+FaultRow RunProfile(const BenchDataset& ds, const NamedFault& nf) {
+  PlatformConfig pc;
+  pc.difficulty_scale = ds.human_hardness;
+  pc.fault = nf.fault;
+  pc.seed = kBenchSeed;
+  Table table = ds.table;  // CrowdPlatform binds a non-owning pointer
+  CrowdPlatform platform(&table, pc);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  PlatformOracle oracle(&platform, policy);
+
+  PowerConfig config;
+  config.selector = SelectorKind::kTopoSort;
+
+  Stopwatch watch;
+  PowerResult result = PowerFramework(config).Run(table, &oracle);
+
+  FaultRow row;
+  row.profile = nf.name;
+  row.wall_seconds = watch.ElapsedSeconds();
+  row.questions = result.questions;
+  row.rounds = platform.rounds_posted();
+  row.hits_posted = platform.hits_posted();
+  row.reposted = oracle.requester().questions_reposted();
+  row.requeued = result.requeued_questions;
+  row.degraded = result.degraded_questions;
+  row.rejected = platform.assignments_rejected();
+  row.sim_hours = platform.clock()->now_seconds() / 3600.0;
+  row.dollars = platform.total_cost_dollars();
+  row.f1 = ComputePrf(result.matched_pairs, TrueMatchPairs(table)).f1;
+  return row;
+}
+
+void PrintRow(const FaultRow& r) {
+  std::printf("%-14s %7zu %7zu %7zu %8zu %8zu %8zu %8zu %9.1f %8.2f %7.3f %8.3f\n",
+              r.profile.c_str(), r.questions, r.rounds, r.hits_posted,
+              r.reposted, r.requeued, r.degraded, r.rejected, r.sim_hours,
+              r.dollars, r.f1, r.wall_seconds);
+}
+
+std::string JsonRow(const FaultRow& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"profile\": \"%s\", \"questions\": %zu, \"rounds\": %zu, "
+      "\"hits_posted\": %zu, \"reposted\": %zu, \"requeued\": %zu, "
+      "\"degraded\": %zu, \"rejected\": %zu, \"sim_hours\": %.2f, "
+      "\"dollars\": %.2f, \"f1\": %.4f, \"wall_seconds\": %.3f}",
+      r.profile.c_str(), r.questions, r.rounds, r.hits_posted, r.reposted,
+      r.requeued, r.degraded, r.rejected, r.sim_hours, r.dollars, r.f1,
+      r.wall_seconds);
+  return buf;
+}
+
+int Run(bool smoke, const char* json_path) {
+  DatasetProfile profile = RestaurantProfile();
+  if (smoke) {
+    profile.num_records = 120;
+    profile.num_entities = 100;
+  }
+  BenchDataset ds = MakeDataset(profile);
+
+  PrintTitle("Marketplace resilience — retry/backoff overhead per fault profile (" +
+             ds.name + ")");
+  std::printf("%-14s %7s %7s %7s %8s %8s %8s %8s %9s %8s %7s %8s\n",
+              "Profile", "Quest", "Rounds", "HITs", "Repost", "Requeue",
+              "Degrade", "Reject", "Sim(h)", "Dollars", "F1", "Wall(s)");
+  PrintRule();
+
+  std::vector<FaultRow> results;
+  bool ok = true;
+  for (const NamedFault& nf : FaultGrid()) {
+    FaultRow row = RunProfile(ds, nf);
+    PrintRow(row);
+    if (row.questions == 0) {
+      std::fprintf(stderr, "FAIL: profile %s asked no questions\n",
+                   nf.name.c_str());
+      ok = false;
+    }
+    results.push_back(std::move(row));
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(f, "%s%s\n", JsonRow(results[i]).c_str(),
+                   i + 1 == results.size() ? "" : ",");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace power
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return power::bench::Run(smoke, json_path);
+}

@@ -11,12 +11,18 @@
 #                        the full suite — integer overflow / bad shifts in
 #                        optimized codegen, which the asan tree's different
 #                        codegen can mask;
+#   faults (build-asan/) the fault-injection suite (ctest -L fault: the
+#                        marketplace fault model, requester retry/backoff,
+#                        and the FaultSweep grid) under ASan+UBSan — failure
+#                        paths allocate and free along routes the happy path
+#                        never takes;
 #   lint                 scripts/lint.sh (clang-tidy when available, always
 #                        power-lint).
 #
 # Default run: main + tsan (the historical gate). Opt into the rest:
 #   scripts/check.sh --asan          main + tsan + asan
 #   scripts/check.sh --ubsan         main + tsan + ubsan
+#   scripts/check.sh --faults        main + tsan + faults
 #   scripts/check.sh --lint          main + tsan + lint
 #   scripts/check.sh --all           everything
 #   scripts/check.sh --tsan-only     tsan only
@@ -29,6 +35,7 @@ RUN_MAIN=1
 RUN_TSAN=1
 RUN_ASAN=0
 RUN_UBSAN=0
+RUN_FAULTS=0
 RUN_LINT=0
 for flag in "$@"; do
   case "$flag" in
@@ -36,8 +43,9 @@ for flag in "$@"; do
     --no-tsan) RUN_TSAN=0 ;;
     --asan) RUN_ASAN=1 ;;
     --ubsan) RUN_UBSAN=1 ;;
+    --faults) RUN_FAULTS=1 ;;
     --lint) RUN_LINT=1 ;;
-    --all) RUN_ASAN=1; RUN_UBSAN=1; RUN_LINT=1 ;;
+    --all) RUN_ASAN=1; RUN_UBSAN=1; RUN_FAULTS=1; RUN_LINT=1 ;;
     *) echo "unknown flag: $flag" >&2; exit 2 ;;
   esac
 done
@@ -56,9 +64,10 @@ esac
 # scan-based reference at 1/2/8 threads, over the parallel CSR freeze), the
 # feature-cache differential (cached similarity front end == legacy string
 # path, bit for bit, at 1/2/8 threads — its build is itself a sharded hot
-# path), and the bit-parallel edit-distance fuzz suite.
+# path), the bit-parallel edit-distance fuzz suite, and the FaultSweep grid
+# (fault-injected serve loops must stay byte-identical at 1/2/8 threads).
 # ctest filters by gtest-discovered *test* names, not binary names.
-PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop|FeatureCache|EditDistanceFuzz'
+PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop|FeatureCache|EditDistanceFuzz|FaultSweep'
 
 if [[ "$RUN_MAIN" == 1 ]]; then
   echo "== build (default flags) =="
@@ -108,6 +117,20 @@ if [[ "$RUN_UBSAN" == 1 ]]; then
   (cd build-ubsan && \
       UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
       ctest --output-on-failure -j)
+fi
+
+if [[ "$RUN_FAULTS" == 1 ]]; then
+  echo "== build (ASan+UBSan, fault suite) =="
+  cmake -B build-asan -S . \
+    -DPOWER_SANITIZE=address \
+    -DPOWER_BUILD_BENCHMARKS=OFF \
+    -DPOWER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j >/dev/null
+  echo "== ctest (fault-injection suite under ASan+UBSan) =="
+  (cd build-asan && \
+      ASAN_OPTIONS=detect_leaks=1 \
+      UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+      ctest --output-on-failure -j -L fault)
 fi
 
 if [[ "$RUN_LINT" == 1 ]]; then

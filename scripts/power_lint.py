@@ -25,6 +25,14 @@ given roots):
                    deterministic ThreadPool/ParallelFor substrate, whose
                    chunking keeps results thread-count-invariant.
 
+  wall-clock       No std::chrono::system_clock / steady_clock /
+                   high_resolution_clock outside util/stopwatch.h (the one
+                   sanctioned wall-time measurement wrapper). Simulated time
+                   — crowd latency, HIT expiry, retry backoff — must flow
+                   through SimClock (platform/sim_clock.h): a wall-clock
+                   read anywhere in the simulation makes results depend on
+                   the host's scheduler and wrecks replay determinism.
+
 Suppression: a line, or the line directly above it, containing
     power-lint: allow(<rule>)
 disables <rule> for that line. Each allow should carry a short justification
@@ -55,6 +63,8 @@ RAW_RANDOM = re.compile(
     r"|(?<![\w:.])time\s*\(")
 NAKED_THREAD = re.compile(
     r"\bstd::(?:thread|jthread|async)\b")
+WALL_CLOCK = re.compile(
+    r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b")
 
 CONTINUATION_TYPE = re.compile(r"^\s*(?:const\s+)?std::unordered_")
 
@@ -139,6 +149,8 @@ def check_file(path, rel, findings):
     is_rng = re.search(r"(^|/)util/rng\.(h|cc)$", rel.replace(os.sep, "/"))
     is_pool = re.search(r"(^|/)util/parallel\.(h|cc)$",
                         rel.replace(os.sep, "/"))
+    is_stopwatch = re.search(r"(^|/)util/stopwatch\.h$",
+                             rel.replace(os.sep, "/"))
 
     if in_src:
         names = unordered_names(lines)
@@ -169,6 +181,13 @@ def check_file(path, rel, findings):
                     rel, idx + 1, "naked-thread",
                     "raw std::thread/std::async — all parallelism goes "
                     "through ThreadPool/ParallelFor (util/parallel.h)"))
+        if not is_stopwatch and WALL_CLOCK.search(line):
+            if not allowed(lines, idx, "wall-clock"):
+                findings.append((
+                    rel, idx + 1, "wall-clock",
+                    "wall-clock read — simulated time goes through SimClock "
+                    "(platform/sim_clock.h); measure wall time only via "
+                    "Stopwatch (util/stopwatch.h)"))
 
 
 def collect_files(repo, compile_commands, roots):

@@ -19,6 +19,15 @@ struct ErResult {
   /// Time spent deciding which questions to ask (Fig. 30's "assignment
   /// time"), excluding crowd latency.
   double assignment_seconds = 0.0;
+
+  // Fault ledger (zero under a perfect crowd; only fault-tolerant loops
+  // populate these — the baselines never re-queue).
+  /// Question postings that came back unanswered from a faulty platform and
+  /// were re-queued (re-posted) by the resolution loop.
+  size_t requeued_questions = 0;
+  /// Questions that exhausted their retry budget and fell back to the
+  /// machine (histogram) answer instead of a crowd vote.
+  size_t degraded_questions = 0;
 };
 
 }  // namespace power

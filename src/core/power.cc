@@ -81,6 +81,7 @@ PowerResult PowerFramework::Run(const Table& table,
 PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
                                        PairOracle* oracle) const {
   POWER_CHECK(oracle != nullptr);
+  POWER_CHECK(config_.max_ask_attempts >= 1);
   ScopedNumThreads thread_scope(config_.num_threads);
   PowerResult result;
   result.num_threads = NumThreads();
@@ -163,11 +164,48 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
     std::vector<VoteResult> votes = oracle->AskBatch(questions);
     POWER_CHECK(votes.size() == batch.size());
     result.questions += batch.size();
+    // Fault tolerance: an oracle over a faulty platform may answer only
+    // part of the round (total_votes == 0 marks the holes). Re-post the
+    // unanswered residue — holding the answered votes so the round still
+    // applies atomically below — until the round completes or the attempt
+    // budget runs out. Termination is independent of the fault pattern:
+    // the inner loop runs at most max_ask_attempts rounds, and afterwards
+    // every batch member leaves the UNCOLORED pool for good (colored by
+    // its answer, or BLUE by degradation; asked vertices never reopen), so
+    // the outer loop strictly shrinks the never-asked set each iteration.
+    std::vector<size_t> unanswered;
+    for (size_t b = 0; b < batch.size(); ++b) {
+      if (votes[b].total_votes == 0) unanswered.push_back(b);
+    }
+    for (size_t attempt = 1;
+         !unanswered.empty() && attempt < config_.max_ask_attempts;
+         ++attempt) {
+      std::vector<std::pair<int, int>> retry;
+      retry.reserve(unanswered.size());
+      for (size_t idx : unanswered) retry.push_back(questions[idx]);
+      result.requeued_questions += retry.size();
+      std::vector<VoteResult> retry_votes = oracle->AskBatch(retry);
+      POWER_CHECK(retry_votes.size() == retry.size());
+      std::vector<size_t> still;
+      for (size_t k = 0; k < unanswered.size(); ++k) {
+        if (retry_votes[k].total_votes == 0) {
+          still.push_back(unanswered[k]);
+        } else {
+          votes[unanswered[k]] = retry_votes[k];
+        }
+      }
+      unanswered = std::move(still);
+    }
     for (size_t b = 0; b < batch.size(); ++b) {
       int g = batch[b];
       const VoteResult& vote = votes[b];
-      if (config_.error_tolerant &&
-          vote.confidence() < config_.confidence_threshold) {
+      if (vote.total_votes == 0) {
+        // Retry budget exhausted: degrade to the §6 machine answer rather
+        // than wedging the loop on a question the crowd will not answer.
+        ++result.degraded_questions;
+        state.MarkBlue(g);
+      } else if (config_.error_tolerant &&
+                 vote.confidence() < config_.confidence_threshold) {
         state.MarkBlue(g);
       } else {
         state.ApplyAnswer(g, vote.majority_yes());
@@ -188,9 +226,10 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
 
   // 4. Power+: resolve pairs stuck in BLUE groups via the §6 histograms.
   //    The same estimator settles groups left uncolored by an exhausted
-  //    question budget.
+  //    question budget, and groups whose questions the faulty crowd never
+  //    answered (degraded above) — the graceful-degradation path.
   if ((config_.error_tolerant && result.num_blue_groups > 0) ||
-      result.budget_exhausted) {
+      result.budget_exhausted || result.degraded_questions > 0) {
     for (const auto& [v, color] :
          ResolveBlueVertices(grouped, state, pair_sims, config_.tolerance)) {
       if (color == Color::kGreen) {

@@ -46,6 +46,17 @@ struct PowerConfig {
   double confidence_threshold = 0.8;
   ErrorToleranceConfig tolerance;
 
+  /// Fault tolerance: a platform-backed oracle may return *partial* rounds
+  /// (unanswered pairs carry VoteResult::total_votes == 0 — HITs expired,
+  /// no quorum, retry budget exhausted). The loop re-posts a round's
+  /// unanswered residue up to this many total attempts, holding the round's
+  /// answered votes so the whole batch still applies atomically (this is
+  /// what makes a fault pattern whose retries eventually succeed
+  /// byte-identical to the fault-free baseline). Questions still unanswered
+  /// after the last attempt degrade to the §6 histogram/machine answer
+  /// instead of wedging the loop. Must be >= 1; 1 = degrade immediately.
+  size_t max_ask_attempts = 8;
+
   uint64_t seed = 7;
 
   /// Threads for the machine-side hot paths (candidate generation,

@@ -8,6 +8,14 @@ namespace power {
 /// The paper's AMT pricing (§7.1): every 10 pair-questions are packed into
 /// one HIT paid 10 cents (so effectively 1 cent per question before
 /// worker-multiplicity, which AMT charges per assignment).
+///
+/// This is the *a-priori estimate* — it assumes every assignment is
+/// submitted and approved. The platform simulation's realized ledger
+/// (CrowdPlatform::total_cost_dollars) pays approved assignments only, as
+/// AMT settles rejected work: under a faulty crowd (abandonment, spam —
+/// platform/fault.h) the realized cost is at most this estimate for the
+/// same postings, while requester retries (platform/requester.h) add
+/// reposted HITs and reward bumps on top.
 struct CostModel {
   size_t pairs_per_hit = 10;
   double dollars_per_hit = 0.10;

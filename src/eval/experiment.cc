@@ -72,6 +72,8 @@ ExperimentRow RunMethod(Method method, const Table& table,
   row.questions = er.questions;
   row.iterations = er.iterations;
   row.assignment_seconds = er.assignment_seconds;
+  row.requeued = er.requeued_questions;
+  row.degraded = er.degraded_questions;
   CostModel cost;
   cost.workers_per_question = setup.workers_per_question;
   row.dollars = cost.Dollars(er.questions);

@@ -35,7 +35,10 @@ struct ExperimentSetup {
   size_t gcer_budget = 0;
 };
 
-/// One row of a paper figure: quality + cost counters for a method.
+/// One row of a paper figure: quality + cost counters for a method, plus
+/// the fault ledger (re-queued / degraded questions are zero under the
+/// perfect-crowd oracle; platform-backed runs surface the crowd's failure
+/// modes here).
 struct ExperimentRow {
   Method method = Method::kPower;
   PrecisionRecallF quality;
@@ -43,6 +46,10 @@ struct ExperimentRow {
   size_t iterations = 0;
   double assignment_seconds = 0.0;
   double dollars = 0.0;
+  /// Unanswered question postings the resolution loop re-posted.
+  size_t requeued = 0;
+  /// Questions that exhausted retries and fell back to the machine answer.
+  size_t degraded = 0;
 };
 
 /// Runs one method over the table. `candidates` are the pruned pairs shared

@@ -23,12 +23,15 @@ std::vector<std::string> RowFields(const std::string& label,
           std::to_string(row.questions),
           std::to_string(row.iterations),
           FormatDouble(row.assignment_seconds, 6),
-          FormatDouble(row.dollars, 2)};
+          FormatDouble(row.dollars, 2),
+          std::to_string(row.requeued),
+          std::to_string(row.degraded)};
 }
 
 const char* const kHeader[] = {
-    "label",      "method",     "f1",      "precision", "recall",
-    "questions",  "iterations", "assign_s", "dollars"};
+    "label",      "method",     "f1",       "precision", "recall",
+    "questions",  "iterations", "assign_s", "dollars",   "requeued",
+    "degraded"};
 
 }  // namespace
 

@@ -12,7 +12,7 @@ namespace power {
 /// plotting scripts (the paper's figures are line charts over these rows).
 ///
 /// CSV columns: label,method,f1,precision,recall,questions,iterations,
-///              assignment_seconds,dollars
+///              assignment_seconds,dollars,requeued,degraded
 std::string ExperimentRowsToCsv(
     const std::vector<std::pair<std::string, ExperimentRow>>& labeled_rows);
 

@@ -1,0 +1,48 @@
+#ifndef POWER_PLATFORM_FAULT_H_
+#define POWER_PLATFORM_FAULT_H_
+
+namespace power {
+
+/// Injectable failure model of the crowd marketplace, covering the
+/// operational pathologies reported on live AMT batches (CrowdER, VLDB'12):
+/// workers accepting assignments and walking away, spammers submitting
+/// random answers for the reward, assignments idling past their timeout,
+/// and the long latency tail. All draws flow through the platform's seeded
+/// Rng, and every knob defaults to "off" — a default-constructed profile
+/// consumes no random draws, so fault-free runs are byte-identical to the
+/// pre-fault platform.
+struct FaultProfile {
+  /// Probability an accepted assignment is abandoned: the worker never
+  /// submits, contributing no votes and earning no pay. Reposting a HIT
+  /// with a reward bump scales this down by base_reward / actual_reward
+  /// (better-paid HITs get completed more reliably, as observed on AMT).
+  double abandon_prob = 0.0;
+
+  /// Probability a drawn worker behaves as a spammer on this assignment:
+  /// answers are uniform coin flips submitted at a quarter of the worker's
+  /// normal latency. Spam usually disagrees with the per-question majority,
+  /// so the approval rule rejects (and does not pay) most of it.
+  double spammer_rate = 0.0;
+
+  /// Assignments whose simulated latency exceeds this expire unsubmitted
+  /// (AMT's assignment duration): no votes, no pay, and the slot ties up
+  /// the HIT for the full timeout. 0 disables the timeout; abandoned
+  /// assignments also occupy their slot for this long when it is set.
+  double assignment_timeout_seconds = 0.0;
+
+  /// Probability an assignment lands in the slow tail, multiplying its
+  /// latency draw by slow_tail_multiplier (before the timeout check — the
+  /// tail is what assignment timeouts exist to cut off).
+  double slow_tail_prob = 0.0;
+  double slow_tail_multiplier = 10.0;
+
+  /// True iff any fault channel is enabled.
+  bool any() const {
+    return abandon_prob > 0.0 || spammer_rate > 0.0 ||
+           assignment_timeout_seconds > 0.0 || slow_tail_prob > 0.0;
+  }
+};
+
+}  // namespace power
+
+#endif  // POWER_PLATFORM_FAULT_H_

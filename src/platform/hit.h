@@ -18,16 +18,24 @@ struct Hit {
   int64_t id = -1;
   std::vector<PairQuestion> questions;
   double reward_dollars = 0.10;
+  /// 0 for a first posting; k for the k-th repost of an expired HIT (the
+  /// requester bumps reward_dollars on each repost).
+  int repost = 0;
 };
 
-/// One worker's completed pass over a HIT.
+/// One worker's completed (submitted) pass over a HIT. Abandoned and
+/// timed-out assignments never materialize as Assignment records — they
+/// only show up in the platform's abandonment/expiry counters.
 struct Assignment {
   int64_t hit_id = -1;
   int worker_id = -1;
   /// answers[q] is the worker's YES/NO for hit.questions[q].
   std::vector<bool> answers;
-  /// Simulated wall-clock seconds from posting until this worker submitted.
+  /// Simulated seconds from posting until this worker submitted.
   double latency_seconds = 0.0;
+  /// Approval decision (majority-agreement rule). Only approved assignments
+  /// are paid, as on AMT.
+  bool approved = false;
 };
 
 }  // namespace power

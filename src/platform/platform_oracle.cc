@@ -6,7 +6,11 @@
 namespace power {
 
 PlatformOracle::PlatformOracle(CrowdPlatform* platform)
-    : platform_(platform) {
+    : PlatformOracle(platform, NoRetryPolicy()) {}
+
+PlatformOracle::PlatformOracle(CrowdPlatform* platform,
+                               const RetryPolicy& policy)
+    : platform_(platform), requester_(platform, policy) {
   POWER_CHECK(platform != nullptr);
 }
 
@@ -16,23 +20,32 @@ VoteResult PlatformOracle::Ask(int i, int j) {
 
 std::vector<VoteResult> PlatformOracle::AskBatch(
     const std::vector<std::pair<int, int>>& pairs) {
-  // Post only the pairs we have never asked; cached pairs replay.
+  // Post only the pairs we have never gotten an answer for; cached pairs
+  // replay. Unanswered outcomes are deliberately not cached (see header).
   std::vector<PairQuestion> fresh;
   for (const auto& [i, j] : pairs) {
     if (cache_.find(PairKey(i, j)) == cache_.end()) {
       fresh.push_back({i, j});
     }
   }
+  std::unordered_map<uint64_t, VoteResult> unanswered;
   if (!fresh.empty()) {
-    CrowdPlatform::RoundResult round = platform_->PostRound(fresh);
+    std::vector<QuestionOutcome> outcomes = requester_.Resolve(fresh);
     for (size_t f = 0; f < fresh.size(); ++f) {
-      cache_.emplace(PairKey(fresh[f].i, fresh[f].j), round.votes[f]);
+      uint64_t key = PairKey(fresh[f].i, fresh[f].j);
+      if (outcomes[f].answered()) {
+        cache_.emplace(key, outcomes[f].vote);
+      } else {
+        unanswered.emplace(key, VoteResult{});
+      }
     }
   }
   std::vector<VoteResult> out;
   out.reserve(pairs.size());
   for (const auto& [i, j] : pairs) {
-    out.push_back(cache_.at(PairKey(i, j)));
+    auto it = cache_.find(PairKey(i, j));
+    out.push_back(it != cache_.end() ? it->second
+                                     : unanswered.at(PairKey(i, j)));
   }
   return out;
 }

@@ -6,26 +6,44 @@
 
 #include "crowd/pair_oracle.h"
 #include "platform/platform.h"
+#include "platform/requester.h"
 
 namespace power {
 
 /// PairOracle adapter over the HIT-based marketplace simulation: every
-/// AskBatch call from the framework becomes one platform round (one
-/// iteration of crowd latency), packed into HITs of ten questions exactly
-/// as the paper posted them. Answers are cached per pair (the replay
-/// protocol), so re-asked pairs cost nothing and return identical votes.
+/// AskBatch call from the framework becomes one requester resolution —
+/// an initial platform round (packed into HITs of ten questions exactly as
+/// the paper posted them) plus, under a faulty platform, the Requester's
+/// backed-off retry rounds over the unanswered residue. Answered pairs are
+/// cached (the replay protocol), so re-asked pairs cost nothing and return
+/// identical votes. Pairs that exhaust the retry budget come back with
+/// zero votes (VoteResult::total_votes == 0) and are NOT cached: the
+/// framework may legitimately re-queue them, and a later repost can still
+/// succeed.
 class PlatformOracle : public PairOracle {
  public:
+  /// No-retry oracle (RetryPolicy::max_attempts = 1): one platform round
+  /// per batch, exactly the historical behaviour on a fault-free platform.
   explicit PlatformOracle(CrowdPlatform* platform);
+  /// Resilient oracle: fresh pairs resolve through the retry/backoff layer.
+  PlatformOracle(CrowdPlatform* platform, const RetryPolicy& policy);
 
   VoteResult Ask(int i, int j) override;
   std::vector<VoteResult> AskBatch(
       const std::vector<std::pair<int, int>>& pairs) override;
 
   const CrowdPlatform& platform() const { return *platform_; }
+  const Requester& requester() const { return requester_; }
 
  private:
+  static RetryPolicy NoRetryPolicy() {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+
   CrowdPlatform* platform_;
+  Requester requester_;
   std::unordered_map<uint64_t, VoteResult> cache_;
 };
 

@@ -1,0 +1,74 @@
+#include "platform/requester.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace power {
+
+Requester::Requester(CrowdPlatform* platform, const RetryPolicy& policy)
+    : platform_(platform), policy_(policy) {
+  POWER_CHECK(platform != nullptr);
+  POWER_CHECK(policy.max_attempts >= 1);
+  POWER_CHECK(policy.base_backoff_seconds >= 0.0);
+  POWER_CHECK(policy.backoff_multiplier >= 1.0);
+  POWER_CHECK(policy.max_backoff_seconds >= 0.0);
+  POWER_CHECK(policy.reward_bump_dollars >= 0.0);
+}
+
+double Requester::BackoffDelay(int repost) const {
+  POWER_CHECK(repost >= 0);
+  double delay = policy_.base_backoff_seconds;
+  for (int k = 0; k < repost; ++k) {
+    delay *= policy_.backoff_multiplier;
+    if (delay >= policy_.max_backoff_seconds) break;
+  }
+  return std::min(delay, policy_.max_backoff_seconds);
+}
+
+std::vector<QuestionOutcome> Requester::Resolve(
+    const std::vector<PairQuestion>& questions) {
+  std::vector<QuestionOutcome> out(questions.size());
+  if (questions.empty()) return out;
+
+  std::vector<size_t> pending(questions.size());
+  for (size_t q = 0; q < questions.size(); ++q) pending[q] = q;
+
+  for (int attempt = 0;
+       attempt < policy_.max_attempts && !pending.empty(); ++attempt) {
+    if (attempt > 0) {
+      // Backed-off repost of the unanswered residue, reward bumped so the
+      // repost is likelier to get picked up and completed.
+      double delay = BackoffDelay(attempt - 1);
+      platform_->clock()->Advance(delay);
+      backoff_seconds_ += delay;
+      questions_reposted_ += pending.size();
+    }
+    std::vector<PairQuestion> wave;
+    wave.reserve(pending.size());
+    for (size_t idx : pending) wave.push_back(questions[idx]);
+    questions_posted_ += wave.size();
+    CrowdPlatform::RoundResult round = platform_->PostRound(
+        wave, attempt * policy_.reward_bump_dollars, attempt);
+
+    std::vector<size_t> still_pending;
+    for (size_t k = 0; k < pending.size(); ++k) {
+      QuestionOutcome& outcome = out[pending[k]];
+      ++outcome.attempts;
+      outcome.status = round.status[k];
+      if (round.status[k] == QuestionStatus::kAnswered) {
+        outcome.vote = round.votes[k];
+      } else {
+        if (round.status[k] == QuestionStatus::kNoQuorum) {
+          ++no_quorum_failures_;
+        }
+        still_pending.push_back(pending[k]);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  questions_exhausted_ += pending.size();
+  return out;
+}
+
+}  // namespace power

@@ -1,0 +1,93 @@
+#ifndef POWER_PLATFORM_REQUESTER_H_
+#define POWER_PLATFORM_REQUESTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "crowd/worker.h"
+#include "platform/hit.h"
+#include "platform/platform.h"
+
+namespace power {
+
+/// Deterministic capped-exponential-backoff retry schedule, evaluated on
+/// the platform's simulated clock (platform/sim_clock.h). No jitter: retry
+/// timing must be a pure function of the configuration so fault runs stay
+/// reproducible (the determinism discipline of DESIGN.md §7/§11).
+struct RetryPolicy {
+  /// Total postings per question, first attempt included. 1 = post once,
+  /// never retry; must be >= 1.
+  int max_attempts = 4;
+  /// Backoff before the k-th repost: min(base * multiplier^k,
+  /// max_backoff_seconds), k = 0 for the first repost.
+  double base_backoff_seconds = 60.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 3600.0;
+  /// Added to the HIT reward on every repost (cumulative): expired HITs
+  /// come back sweeter, which proportionally damps abandonment (see
+  /// FaultProfile::abandon_prob).
+  double reward_bump_dollars = 0.02;
+};
+
+/// Per-question outcome of Requester::Resolve.
+struct QuestionOutcome {
+  /// Zero votes unless answered.
+  VoteResult vote;
+  /// Final platform status: kAnswered, or the last failure (kNoQuorum /
+  /// kExpired) when the retry budget ran out.
+  QuestionStatus status = QuestionStatus::kExpired;
+  bool answered() const { return status == QuestionStatus::kAnswered; }
+  /// Rounds this question was posted in (1 = answered first try).
+  int attempts = 0;
+};
+
+/// The requester-side resilience layer over a faulty CrowdPlatform: posts a
+/// batch of questions, collects the partial round, and reposts whatever
+/// came back unanswered under a capped-exponential-backoff schedule with
+/// per-repost reward bumps — the retry loop a production requester runs
+/// against AMT. Questions that exhaust the retry budget are returned
+/// unanswered (status != kAnswered) so the caller can degrade gracefully
+/// (PowerFramework falls back to the §6 histogram/machine answer) instead
+/// of wedging the serving loop.
+///
+/// Only approved assignments are paid (the platform's cost ledger), so a
+/// retried question costs at most attempts * (reward + bumps) per approved
+/// assignment and nothing for the spam it rejected.
+class Requester {
+ public:
+  Requester(CrowdPlatform* platform, const RetryPolicy& policy);
+
+  /// Resolves one batch: one initial round plus up to max_attempts - 1
+  /// backed-off retry rounds over the shrinking unanswered subset.
+  /// Outcomes are in input order. Advances the simulated clock by every
+  /// round's latency (via the platform) and every backoff wait.
+  std::vector<QuestionOutcome> Resolve(
+      const std::vector<PairQuestion>& questions);
+
+  /// Backoff before repost number `repost` (0-based): deterministic capped
+  /// exponential.
+  double BackoffDelay(int repost) const;
+
+  // Lifetime ledger of the resilience layer.
+  size_t questions_posted() const { return questions_posted_; }
+  size_t questions_reposted() const { return questions_reposted_; }
+  size_t questions_exhausted() const { return questions_exhausted_; }
+  size_t no_quorum_failures() const { return no_quorum_failures_; }
+  double backoff_seconds() const { return backoff_seconds_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+  const CrowdPlatform& platform() const { return *platform_; }
+
+ private:
+  CrowdPlatform* platform_;
+  RetryPolicy policy_;
+  size_t questions_posted_ = 0;
+  size_t questions_reposted_ = 0;
+  size_t questions_exhausted_ = 0;
+  size_t no_quorum_failures_ = 0;
+  double backoff_seconds_ = 0.0;
+};
+
+}  // namespace power
+
+#endif  // POWER_PLATFORM_REQUESTER_H_

@@ -1,0 +1,32 @@
+#ifndef POWER_PLATFORM_SIM_CLOCK_H_
+#define POWER_PLATFORM_SIM_CLOCK_H_
+
+#include "util/check.h"
+
+namespace power {
+
+/// The simulated-clock module: the only notion of time the platform layer
+/// has. Crowd rounds advance it by their (simulated) completion latency and
+/// the requester advances it by retry backoff waits, so every timestamp and
+/// timeout decision is a deterministic function of the run's seeds — no
+/// component may read the wall clock for logic (power-lint's `wall-clock`
+/// rule enforces this; util/stopwatch.h remains the sanctioned wall-clock
+/// *measurement* tool for the bench timing figures).
+class SimClock {
+ public:
+  /// Seconds elapsed since the start of the simulation.
+  double now_seconds() const { return now_; }
+
+  /// Advances simulated time. Time never flows backwards.
+  void Advance(double seconds) {
+    POWER_CHECK(seconds >= 0.0);
+    now_ += seconds;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace power
+
+#endif  // POWER_PLATFORM_SIM_CLOCK_H_

@@ -2,11 +2,18 @@
 // termination or invariants — quality may collapse, the process may not.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/power.h"
 #include "crowd/answer_cache.h"
 #include "data/paper_example.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
+#include "platform/platform.h"
+#include "platform/platform_oracle.h"
+#include "platform/requester.h"
+#include "util/parallel.h"
 
 namespace power {
 namespace {
@@ -97,6 +104,192 @@ TEST(FailureInjectionTest, AllIdenticalSimilarityVectors) {
   PowerResult r = PowerFramework(config).RunOnPairs(pairs, &oracle);
   EXPECT_EQ(r.num_groups, 1u);
   EXPECT_EQ(r.questions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault sweep: the marketplace simulation under every FaultProfile corner,
+// driven end to end through PlatformOracle -> Requester -> PowerFramework.
+// Three properties under *any* fault pattern: the loop terminates, the
+// result is well-formed, and the run is byte-identical across thread counts.
+
+// Comparable fingerprint of a PowerResult for determinism checks.
+struct RunFingerprint {
+  size_t questions = 0;
+  size_t iterations = 0;
+  size_t requeued = 0;
+  size_t degraded = 0;
+  std::vector<uint64_t> matched;
+
+  bool operator==(const RunFingerprint& o) const {
+    return questions == o.questions && iterations == o.iterations &&
+           requeued == o.requeued && degraded == o.degraded &&
+           matched == o.matched;
+  }
+};
+
+RunFingerprint Fingerprint(const PowerResult& r) {
+  RunFingerprint f;
+  f.questions = r.questions;
+  f.iterations = r.iterations;
+  f.requeued = r.requeued_questions;
+  f.degraded = r.degraded_questions;
+  f.matched.assign(r.matched_pairs.begin(), r.matched_pairs.end());
+  std::sort(f.matched.begin(), f.matched.end());
+  return f;
+}
+
+// Resilience-layer ledger snapshot, copied out after a run (the platform
+// and requester live inside RunUnderFaults).
+struct FaultLedger {
+  size_t abandoned = 0;
+  size_t reposted = 0;
+  size_t exhausted = 0;
+  double cost_dollars = 0.0;
+};
+
+PowerResult RunUnderFaults(const Table& table, const FaultProfile& fault,
+                           SelectorKind kind, int threads,
+                           FaultLedger* ledger = nullptr) {
+  PlatformConfig pc;
+  pc.pool_size = 60;
+  pc.accuracy_lo = 0.95;
+  pc.accuracy_hi = 0.999;
+  pc.difficulty_scale = 0.0;
+  pc.seed = 23;
+  pc.fault = fault;
+  CrowdPlatform platform(&table, pc);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.reward_bump_dollars = 0.05;
+  PlatformOracle oracle(&platform, policy);
+  PowerConfig config;
+  config.selector = kind;
+  PowerResult result;
+  {
+    ScopedNumThreads scope(threads);
+    result = PowerFramework(config).RunOnPairs(PaperExamplePairs(), &oracle);
+  }
+  if (ledger != nullptr) {
+    ledger->abandoned = platform.assignments_abandoned();
+    ledger->reposted = oracle.requester().questions_reposted();
+    ledger->exhausted = oracle.requester().questions_exhausted();
+    ledger->cost_dollars = platform.total_cost_dollars();
+  }
+  return result;
+}
+
+TEST(FaultSweepTest, GridTerminatesWellFormedAndDeterministic) {
+  Table table = PaperExampleTable();
+  const auto candidate_pairs = PaperExamplePairs();
+  std::vector<uint64_t> candidate_keys;
+  for (const auto& p : candidate_pairs) {
+    candidate_keys.push_back(PairKey(p.i, p.j));
+  }
+  std::sort(candidate_keys.begin(), candidate_keys.end());
+
+  for (double abandon : {0.0, 0.4, 0.9}) {
+    for (double spam : {0.0, 0.5}) {
+      for (double timeout : {0.0, 45.0}) {
+        FaultProfile fault;
+        fault.abandon_prob = abandon;
+        fault.spammer_rate = spam;
+        fault.assignment_timeout_seconds = timeout;
+        for (SelectorKind kind :
+             {SelectorKind::kRandom, SelectorKind::kSinglePath,
+              SelectorKind::kMultiPath, SelectorKind::kTopoSort}) {
+          SCOPED_TRACE(std::string(SelectorKindName(kind)) +
+                       " abandon=" + std::to_string(abandon) +
+                       " spam=" + std::to_string(spam) +
+                       " timeout=" + std::to_string(timeout));
+          // Termination + well-formedness (the run returning at all is the
+          // termination proof; POWER_CHECKs inside guard the invariants).
+          PowerResult base = RunUnderFaults(table, fault, kind, 1);
+          EXPECT_GT(base.questions, 0u);
+          EXPECT_LE(base.questions, candidate_pairs.size());
+          EXPECT_GT(base.iterations, 0u);
+          for (uint64_t key : base.matched_pairs) {
+            EXPECT_TRUE(std::binary_search(candidate_keys.begin(),
+                                           candidate_keys.end(), key))
+                << "matched a pair outside the candidate set";
+          }
+          // Byte-identical across thread counts: the crowd transcript is
+          // serial by construction, and every machine-side stage is
+          // deterministic under parallelism.
+          RunFingerprint fp = Fingerprint(base);
+          for (int threads : {2, 8}) {
+            PowerResult r = RunUnderFaults(table, fault, kind, threads);
+            EXPECT_TRUE(Fingerprint(r) == fp)
+                << "thread-count " << threads << " diverged";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultSweepTest, TotalBlackoutDegradesToMachineAnswers) {
+  // Assignment timeout far below any worker's latency: nothing is ever
+  // submitted, every retry expires, every question exhausts its budget.
+  // The loop must still terminate, degrade every group to BLUE, and settle
+  // all pairs from the §6 histogram prior.
+  Table table = PaperExampleTable();
+  PlatformConfig pc;
+  pc.pool_size = 40;
+  pc.seed = 7;
+  pc.fault.assignment_timeout_seconds = 1e-6;
+  CrowdPlatform platform(&table, pc);
+  PlatformOracle oracle(&platform);  // no-retry requester
+  PowerConfig config;
+  config.max_ask_attempts = 4;
+  PowerResult r =
+      PowerFramework(config).RunOnPairs(PaperExamplePairs(), &oracle);
+  // Each group was asked once (no answers -> no deductions -> no vertex is
+  // ever colored by propagation), re-queued max_ask_attempts - 1 times, and
+  // degraded.
+  EXPECT_EQ(r.questions, r.num_groups);
+  EXPECT_EQ(r.degraded_questions, r.num_groups);
+  EXPECT_EQ(r.requeued_questions, 3 * r.num_groups);
+  EXPECT_EQ(r.num_blue_groups, r.num_groups);
+  // Graceful degradation: the histogram prior still produces an answer set.
+  EXPECT_FALSE(r.matched_pairs.empty());
+  // Nothing was ever submitted, so nothing was paid.
+  EXPECT_DOUBLE_EQ(platform.total_cost_dollars(), 0.0);
+  EXPECT_GT(platform.assignments_expired(), 0u);
+}
+
+TEST(FaultSweepTest, EventuallySucceedingFaultsMatchFaultFreeBaseline) {
+  // The acceptance criterion at platform level: with faults whose retries
+  // eventually succeed, the requester layer makes the framework's view of
+  // the crowd identical to a fault-free platform's — same votes (the answer
+  // model draws from the same worker pool), same question count, same
+  // coloring.
+  Table table = PaperExampleTable();
+  FaultProfile none;
+  FaultProfile abandonment;
+  abandonment.abandon_prob = 1.0;  // reward bumps damp it on reposts
+  for (SelectorKind kind :
+       {SelectorKind::kRandom, SelectorKind::kSinglePath,
+        SelectorKind::kMultiPath, SelectorKind::kTopoSort}) {
+    SCOPED_TRACE(SelectorKindName(kind));
+    FaultLedger base_ledger;
+    PowerResult baseline = RunUnderFaults(table, none, kind, 1, &base_ledger);
+    EXPECT_EQ(baseline.requeued_questions, 0u);
+    EXPECT_EQ(base_ledger.reposted, 0u);
+    for (int threads : {1, 2, 8}) {
+      FaultLedger ledger;
+      PowerResult faulty =
+          RunUnderFaults(table, abandonment, kind, threads, &ledger);
+      // Degradation never triggered: every retry eventually succeeded...
+      EXPECT_EQ(faulty.degraded_questions, 0u);
+      // ...after real re-posting work (every first posting is abandoned)...
+      EXPECT_GT(ledger.abandoned, 0u);
+      EXPECT_GT(ledger.reposted, 0u);
+      // ...and the resolution itself is unchanged.
+      EXPECT_EQ(faulty.questions, baseline.questions);
+      EXPECT_EQ(faulty.iterations, baseline.iterations);
+      EXPECT_EQ(faulty.matched_pairs, baseline.matched_pairs);
+    }
+  }
 }
 
 TEST(FailureInjectionTest, ExtremeEpsilonValues) {

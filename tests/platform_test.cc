@@ -6,6 +6,7 @@
 #include "eval/metrics.h"
 #include "platform/platform.h"
 #include "platform/platform_oracle.h"
+#include "platform/requester.h"
 #include "util/rng.h"
 
 namespace power {
@@ -152,6 +153,229 @@ TEST(PlatformTest, LatencyIsMaxOfRound) {
     max_assignment = std::max(max_assignment, a.latency_seconds);
   }
   EXPECT_DOUBLE_EQ(round.latency_seconds, max_assignment);
+}
+
+TEST(PlatformTest, SimClockAdvancesWithRounds) {
+  Table table = PaperExampleTable();
+  CrowdPlatform platform(&table, HighQualityConfig());
+  EXPECT_DOUBLE_EQ(platform.clock()->now_seconds(), 0.0);
+  platform.PostRound({{0, 1}});
+  platform.PostRound({{0, 3}});
+  EXPECT_DOUBLE_EQ(platform.clock()->now_seconds(),
+                   platform.total_latency_seconds());
+  EXPECT_GT(platform.clock()->now_seconds(), 0.0);
+}
+
+// Regression (issue 5 satellite): a qualification filter that excludes the
+// whole pool must surface an explicit no-quorum status, not a silent 0-0
+// vote tie (and not crash).
+TEST(PlatformTest, NoQuorumInsteadOfZeroVoteTie) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.pool_size = 3;
+  config.min_approval_rate = 0.9;
+  CrowdPlatform platform(&table, config);
+  // Mass rejection: every worker's visible approval rate drops to 0.
+  for (int w = 0; w < 3; ++w) {
+    platform.mutable_pool()->RecordSubmission(w, false);
+  }
+  auto round = platform.PostRound({{0, 1}, {0, 3}});
+  ASSERT_EQ(round.status.size(), 2u);
+  EXPECT_EQ(round.status[0], QuestionStatus::kNoQuorum);
+  EXPECT_EQ(round.status[1], QuestionStatus::kNoQuorum);
+  EXPECT_EQ(round.votes[0].total_votes, 0);
+  EXPECT_EQ(round.answered(), 0u);
+  EXPECT_DOUBLE_EQ(round.cost_dollars, 0.0);
+  EXPECT_EQ(platform.hits_expired(), 1u);
+  EXPECT_EQ(platform.assignments_completed(), 0u);
+}
+
+// AMT semantics: rejected assignments are not paid.
+TEST(PlatformTest, RejectedAssignmentsAreNotPaid) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.fault.spammer_rate = 0.5;  // half the crowd answers coin flips
+  // One question per HIT: the approval rule then rejects exactly the
+  // minority voters, so coin-flip spam reliably produces rejections.
+  config.questions_per_hit = 1;
+  CrowdPlatform platform(&table, config);
+  std::vector<PairQuestion> questions;
+  for (const auto& p : PaperExamplePairs()) questions.push_back({p.i, p.j});
+  auto round = platform.PostRound(questions);
+  size_t approved = 0;
+  for (const auto& a : round.assignments) {
+    if (a.approved) ++approved;
+  }
+  ASSERT_GT(platform.assignments_rejected(), 0u);
+  EXPECT_EQ(approved + platform.assignments_rejected(),
+            platform.assignments_completed());
+  EXPECT_NEAR(round.cost_dollars,
+              static_cast<double>(approved) * config.reward_per_hit, 1e-9);
+  EXPECT_DOUBLE_EQ(platform.total_cost_dollars(), round.cost_dollars);
+  EXPECT_LT(platform.total_cost_dollars(),
+            static_cast<double>(platform.assignments_completed()) *
+                config.reward_per_hit);
+}
+
+TEST(PlatformTest, TotalAbandonmentExpiresTheRound) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.fault.abandon_prob = 1.0;
+  CrowdPlatform platform(&table, config);
+  auto round = platform.PostRound({{0, 1}, {0, 3}});
+  ASSERT_EQ(round.status.size(), 2u);
+  EXPECT_EQ(round.status[0], QuestionStatus::kExpired);
+  EXPECT_EQ(round.votes[0].total_votes, 0);
+  EXPECT_EQ(round.answered(), 0u);
+  EXPECT_TRUE(round.assignments.empty());
+  EXPECT_DOUBLE_EQ(round.cost_dollars, 0.0);
+  EXPECT_EQ(platform.assignments_abandoned(),
+            static_cast<size_t>(config.assignments_per_hit));
+  EXPECT_EQ(platform.hits_expired(), 1u);
+  // No timeout configured: abandoned slots add no latency.
+  EXPECT_DOUBLE_EQ(round.latency_seconds, 0.0);
+}
+
+TEST(PlatformTest, AssignmentTimeoutExpiresSlowWork) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.fault.assignment_timeout_seconds = 1e-3;  // everyone is too slow
+  CrowdPlatform platform(&table, config);
+  auto round = platform.PostRound({{0, 1}});
+  EXPECT_EQ(round.status[0], QuestionStatus::kExpired);
+  EXPECT_EQ(platform.assignments_expired(),
+            static_cast<size_t>(config.assignments_per_hit));
+  // The round lasted exactly the timeout: slots idled until expiry.
+  EXPECT_DOUBLE_EQ(round.latency_seconds, 1e-3);
+}
+
+TEST(PlatformTest, SlowTailStretchesRoundLatency) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  CrowdPlatform fast(&table, config);
+  config.fault.slow_tail_prob = 1.0;
+  config.fault.slow_tail_multiplier = 100.0;
+  CrowdPlatform slow(&table, config);
+  double fast_latency = fast.PostRound({{0, 1}}).latency_seconds;
+  double slow_latency = slow.PostRound({{0, 1}}).latency_seconds;
+  EXPECT_GT(slow_latency, fast_latency * 10.0);
+}
+
+TEST(RequesterTest, BackoffDelayIsCappedExponential) {
+  Table table = PaperExampleTable();
+  CrowdPlatform platform(&table, HighQualityConfig());
+  RetryPolicy policy;
+  policy.base_backoff_seconds = 60.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 300.0;
+  Requester requester(&platform, policy);
+  EXPECT_DOUBLE_EQ(requester.BackoffDelay(0), 60.0);
+  EXPECT_DOUBLE_EQ(requester.BackoffDelay(1), 120.0);
+  EXPECT_DOUBLE_EQ(requester.BackoffDelay(2), 240.0);
+  EXPECT_DOUBLE_EQ(requester.BackoffDelay(3), 300.0);  // capped
+  EXPECT_DOUBLE_EQ(requester.BackoffDelay(10), 300.0);
+}
+
+TEST(RequesterTest, RetriesRecoverFromAbandonment) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  // Everyone abandons the base-rate posting; reward bumps then damp the
+  // abandonment probability (1.0 * base/bumped), so retries recover.
+  config.fault.abandon_prob = 1.0;
+  CrowdPlatform platform(&table, config);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.reward_bump_dollars = 0.10;  // damps abandonment fast on reposts
+  Requester requester(&platform, policy);
+  std::vector<PairQuestion> questions;
+  for (const auto& p : PaperExamplePairs()) questions.push_back({p.i, p.j});
+  auto outcomes = requester.Resolve(questions);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.answered());
+    EXPECT_GT(outcome.vote.total_votes, 0);
+    EXPECT_GE(outcome.attempts, 1);
+    EXPECT_LE(outcome.attempts, policy.max_attempts);
+  }
+  // The fault actually fired and the retry machinery did real work.
+  EXPECT_GT(platform.assignments_abandoned(), 0u);
+  EXPECT_GT(requester.questions_reposted(), 0u);
+  EXPECT_GT(requester.backoff_seconds(), 0.0);
+  EXPECT_EQ(requester.questions_exhausted(), 0u);
+  // Backoff waits flow into the simulated clock on top of round latency.
+  EXPECT_DOUBLE_EQ(
+      platform.clock()->now_seconds(),
+      platform.total_latency_seconds() + requester.backoff_seconds());
+}
+
+TEST(RequesterTest, ExhaustionAfterMaxAttemptsWithRewardBumps) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.fault.assignment_timeout_seconds = 1e-3;  // nothing ever completes
+  CrowdPlatform platform(&table, config);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.reward_bump_dollars = 0.05;
+  Requester requester(&platform, policy);
+  auto outcomes = requester.Resolve({{0, 1}});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].answered());
+  EXPECT_EQ(outcomes[0].status, QuestionStatus::kExpired);
+  EXPECT_EQ(outcomes[0].attempts, 3);
+  EXPECT_EQ(outcomes[0].vote.total_votes, 0);
+  EXPECT_EQ(requester.questions_exhausted(), 1u);
+  EXPECT_EQ(requester.questions_reposted(), 2u);
+  // Each repost bumps the HIT reward and tags the repost generation.
+  ASSERT_EQ(platform.hit_log().size(), 3u);
+  EXPECT_EQ(platform.hit_log()[2].repost, 2);
+  EXPECT_DOUBLE_EQ(platform.hit_log()[2].reward_dollars,
+                   config.reward_per_hit + 2 * policy.reward_bump_dollars);
+  // Nothing was approved, so nothing was paid.
+  EXPECT_DOUBLE_EQ(platform.total_cost_dollars(), 0.0);
+}
+
+TEST(RequesterTest, NoQuorumSurfacesInOutcome) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.pool_size = 2;
+  config.min_approval_rate = 0.9;
+  CrowdPlatform platform(&table, config);
+  for (int w = 0; w < 2; ++w) {
+    platform.mutable_pool()->RecordSubmission(w, false);
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  Requester requester(&platform, policy);
+  auto outcomes = requester.Resolve({{0, 1}});
+  EXPECT_FALSE(outcomes[0].answered());
+  EXPECT_EQ(outcomes[0].status, QuestionStatus::kNoQuorum);
+  EXPECT_GT(requester.no_quorum_failures(), 0u);
+}
+
+TEST(PlatformOracleTest, UnansweredPairsAreNotCachedAndCanRecover) {
+  Table table = PaperExampleTable();
+  PlatformConfig config = HighQualityConfig();
+  config.pool_size = 4;
+  config.min_approval_rate = 0.9;
+  CrowdPlatform platform(&table, config);
+  for (int w = 0; w < 4; ++w) {
+    platform.mutable_pool()->RecordSubmission(w, false);
+  }
+  PlatformOracle oracle(&platform);
+  VoteResult first = oracle.Ask(0, 1);
+  EXPECT_EQ(first.total_votes, 0);  // no quorum, returned as unanswered
+  // The operator relaxes the situation (workers earn approvals back); the
+  // pair was not cached, so re-asking posts again and now succeeds.
+  for (int w = 0; w < 4; ++w) {
+    for (int k = 0; k < 20; ++k) {
+      platform.mutable_pool()->RecordSubmission(w, true);
+    }
+  }
+  VoteResult again = oracle.Ask(0, 1);
+  EXPECT_GT(again.total_votes, 0);
+  // Now it is cached: a third ask posts no new round.
+  size_t rounds = platform.rounds_posted();
+  oracle.Ask(0, 1);
+  EXPECT_EQ(platform.rounds_posted(), rounds);
 }
 
 }  // namespace

@@ -34,6 +34,7 @@ def expect(name, cond, detail=""):
 
 
 VIOLATIONS = """\
+#include <chrono>
 #include <ctime>
 #include <thread>
 #include <unordered_map>
@@ -47,6 +48,8 @@ void Bad() {
   (void)seed;
   std::thread t([] {});
   t.join();
+  auto deadline = std::chrono::steady_clock::now();  // wall-clock read
+  (void)deadline;
 }
 """
 
@@ -79,6 +82,7 @@ def main():
         expect("unordered-iter fires", "unordered-iter" in out, out)
         expect("raw-random fires", "raw-random" in out, out)
         expect("naked-thread fires", "naked-thread" in out, out)
+        expect("wall-clock fires", "wall-clock" in out, out)
 
     # 3. allow() suppresses, and only the named rule.
     with tempfile.TemporaryDirectory() as tmp:

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/power.h"
+#include "crowd/answer_cache.h"
+#include "data/paper_example.h"
 #include "graph/builder.h"
 #include "graph/coloring.h"
 #include "select/selector.h"
+#include "sim/pair.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -406,6 +410,95 @@ TEST_P(SelectionLoopTrace, IncrementalMatchesLegacyAtEveryThreadCount) {
       EXPECT_TRUE(incremental.final_colors == legacy.final_colors)
           << "final coloring diverged at " << threads << " threads, seed "
           << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-trace differential: the ask-and-color loop over a *flaky* oracle
+// whose failures eventually succeed must be byte-identical to the fault-free
+// loop — same question count, same iterations, same matched pairs — because
+// RunOnPairs holds a round's answered votes, re-asks only the unanswered
+// residue, and applies the completed round atomically.
+// ---------------------------------------------------------------------------
+
+// Wraps a deterministic inner oracle and drops each pair's first asks with
+// probability `drop_prob`, guaranteeing success once a pair has been asked
+// `max_drops` times. Failures are in-band: VoteResult::total_votes == 0,
+// the platform's partial-round signal. Deterministic: the drop pattern is a
+// pure function of the seed and the ask sequence.
+class FlakyOracle : public PairOracle {
+ public:
+  FlakyOracle(PairOracle* inner, double drop_prob, int max_drops,
+              uint64_t seed)
+      : inner_(inner), drop_prob_(drop_prob), max_drops_(max_drops),
+        rng_(seed) {}
+
+  VoteResult Ask(int i, int j) override {
+    int& drops = drops_[PairKey(i, j)];
+    if (drops < max_drops_ && rng_.Bernoulli(drop_prob_)) {
+      ++drops;
+      ++total_drops_;
+      return VoteResult{};  // unanswered round
+    }
+    return inner_->Ask(i, j);
+  }
+
+  size_t total_drops() const { return total_drops_; }
+
+ private:
+  PairOracle* inner_;
+  double drop_prob_;
+  int max_drops_;
+  Rng rng_;
+  std::map<uint64_t, int> drops_;
+  size_t total_drops_ = 0;
+};
+
+TEST(SelectionLoopFaultTrace, EventuallyAnsweredMatchesFaultFreeBaseline) {
+  Table table = PaperExampleTable();
+  const auto pairs = PaperExamplePairs();
+  constexpr uint64_t kCrowdSeed = 11;
+  for (SelectorKind kind :
+       {SelectorKind::kRandom, SelectorKind::kSinglePath,
+        SelectorKind::kMultiPath, SelectorKind::kTopoSort}) {
+    SCOPED_TRACE(SelectorKindName(kind));
+    PowerConfig config;
+    config.selector = kind;
+    // Every pair answers by its 5th ask; the framework allows 8 attempts
+    // per round, so no question can exhaust its budget (degraded == 0).
+    config.max_ask_attempts = 8;
+
+    // Fault-free baseline, serial. CrowdOracle's votes are a pure function
+    // of (seed, pair), so a fresh instance replays identically below.
+    PowerResult baseline;
+    {
+      ScopedNumThreads scope(1);
+      CrowdOracle oracle(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5,
+                         kCrowdSeed);
+      baseline = PowerFramework(config).RunOnPairs(pairs, &oracle);
+    }
+    EXPECT_EQ(baseline.requeued_questions, 0u);
+    EXPECT_EQ(baseline.degraded_questions, 0u);
+
+    for (int threads : {1, 2, 8}) {
+      ScopedNumThreads scope(threads);
+      CrowdOracle inner(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5,
+                        kCrowdSeed);
+      FlakyOracle flaky(&inner, /*drop_prob=*/0.6, /*max_drops=*/4,
+                        /*seed=*/99);
+      PowerResult r = PowerFramework(config).RunOnPairs(pairs, &flaky);
+      // The faults actually fired and were retried...
+      EXPECT_GT(flaky.total_drops(), 0u);
+      EXPECT_GT(r.requeued_questions, 0u);
+      EXPECT_EQ(r.degraded_questions, 0u);
+      // ...yet the resolution is byte-identical to the fault-free run:
+      // same question count (re-asks are retries, not new questions), same
+      // rounds, same final answer set.
+      EXPECT_EQ(r.questions, baseline.questions);
+      EXPECT_EQ(r.iterations, baseline.iterations);
+      EXPECT_EQ(r.matched_pairs, baseline.matched_pairs);
+      EXPECT_EQ(r.num_blue_groups, baseline.num_blue_groups);
     }
   }
 }
