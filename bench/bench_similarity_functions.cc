@@ -10,22 +10,35 @@
 // bigram and numeric attributes, swept over thread counts. The two paths'
 // outputs are asserted equal before any timing is reported.
 //
+// Plus the kernel-level bench: the dispatched SIMD kernels
+// (sim/simd_kernels.h) against their scalar references on the two hot
+// integer loops — the record-level Jaccard prune (sorted token-id span
+// intersection over every record pair) and the batched Myers edit distance
+// (8 texts per call against a shared reference string). Engine outputs are
+// checksummed and asserted equal before any speedup is reported, and the
+// AVX2 rows carry an 8-lane roofline (8x the scalar element throughput) so
+// the achieved fraction is visible next to the speedup.
+//
 // Usage:
-//   bench_similarity_functions [--smoke] [--json <path>]
+//   bench_similarity_functions [--smoke] [--kernels-only] [--json <path>]
 //
 // --smoke shrinks the front-end table to a few hundred records and skips the
 // Fig 15-17 sweep so the binary runs in well under a second; it is wired as
-// the `bench_similarity_smoke` ctest target. --json writes the front-end
-// result rows as a JSON array (consumed by BENCH_similarity.json).
+// the `bench_similarity_smoke` ctest target (and `bench_simd_smoke` runs
+// `--smoke --kernels-only`). --json writes the front-end and kernel result
+// rows as a JSON object (consumed by BENCH_similarity.json).
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "eval/experiment.h"
 #include "sim/feature_cache.h"
+#include "sim/simd_kernels.h"
 #include "sim/similarity_matrix.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -200,7 +213,7 @@ std::string FrontEndJsonRow(const FrontEndResult& r) {
   return buf;
 }
 
-int RunFrontEndBench(bool smoke, const char* json_path) {
+int RunFrontEndBench(bool smoke, std::vector<std::string>* json_rows) {
   const size_t kRecords = smoke ? 220 : 2500;
   const std::vector<int> kThreads =
       smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 8};
@@ -264,21 +277,199 @@ int RunFrontEndBench(bool smoke, const char* json_path) {
     PrintRule();
   }
 
-  if (json_path != nullptr) {
-    FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", json_path);
-      return 1;
-    }
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < results.size(); ++i) {
-      std::fprintf(f, "%s%s\n", FrontEndJsonRow(results[i]).c_str(),
-                   i + 1 == results.size() ? "" : ",");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+  for (const FrontEndResult& r : results) {
+    json_rows->push_back(FrontEndJsonRow(r));
   }
   return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level bench: the dispatched SIMD kernels vs their scalar references.
+// ---------------------------------------------------------------------------
+
+struct KernelResult {
+  std::string kernel;    // "jaccard_prune" | "batch_myers"
+  std::string engine;    // "scalar" | "avx2"
+  size_t pairs = 0;      // pair comparisons timed
+  size_t elements = 0;   // merge elements (prune) / text columns (myers)
+  double seconds = 0.0;
+  uint64_t checksum = 0;  // engine-independent result fingerprint
+  double pairs_per_sec() const {
+    return seconds <= 0.0 ? 0.0 : pairs / seconds;
+  }
+  double elems_per_sec() const {
+    return seconds <= 0.0 ? 0.0 : elements / seconds;
+  }
+};
+
+// The record-level Jaccard prune loop of AllPairsCandidates, stripped to its
+// kernel: every record pair's sorted-span intersection plus the shared
+// threshold predicate. The checksum folds both the intersection counts and
+// the keep decisions, so a kernel that miscounts cannot report a speedup.
+KernelResult BenchJaccardPruneKernel(const FeatureCache& features,
+                                     SimdLevel level, int reps) {
+  OverrideSimdLevel(level);
+  KernelResult r;
+  r.kernel = "jaccard_prune";
+  r.engine = SimdLevelName(level);
+  const size_t n = features.num_records();
+  Stopwatch watch;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const auto ri = features.RecordTokenIds(i);
+      for (size_t j = i + 1; j < n; ++j) {
+        const auto rj = features.RecordTokenIds(j);
+        const size_t inter = SortedIntersectionSizeKernel(ri, rj);
+        r.checksum += 2 * inter +
+                      (RecordJaccardAtLeast(inter, ri.size(), rj.size(),
+                                            kFrontEndTau)
+                           ? 1
+                           : 0);
+        r.elements += ri.size() + rj.size();
+      }
+    }
+  }
+  r.seconds = watch.ElapsedSeconds();
+  r.pairs = static_cast<size_t>(reps) * n * (n - 1) / 2;
+  return r;
+}
+
+// The batched Myers loop of ComputePairSimilarities' edit attribute: runs of
+// texts sharing one reference string, kMyersBatchLanes texts per batch.
+KernelResult BenchBatchMyersKernel(const FeatureCache& features,
+                                   size_t attribute, SimdLevel level,
+                                   int reps) {
+  OverrideSimdLevel(level);
+  KernelResult r;
+  r.kernel = "batch_myers";
+  r.engine = SimdLevelName(level);
+  const size_t n = features.num_records();
+  std::vector<std::string_view> texts;
+  std::vector<size_t> dists;
+  Stopwatch watch;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const std::string_view pattern = features.LowerValue(i, attribute);
+      const size_t run_end = std::min(n, i + 1 + 2 * kMyersBatchLanes);
+      texts.clear();
+      for (size_t j = i + 1; j < run_end; ++j) {
+        texts.push_back(features.LowerValue(j, attribute));
+        r.elements += texts.back().size();
+      }
+      dists.resize(texts.size());
+      BatchMyersEditDistance(pattern, texts.data(), texts.size(),
+                             dists.data());
+      for (size_t d : dists) r.checksum += d;
+      r.pairs += texts.size();
+    }
+  }
+  r.seconds = watch.ElapsedSeconds();
+  return r;
+}
+
+void PrintKernelRow(const KernelResult& r) {
+  std::printf("%-14s %-8s %12zu %12.2fM %12.2fM\n", r.kernel.c_str(),
+              r.engine.c_str(), r.pairs, r.pairs_per_sec() / 1e6,
+              r.elems_per_sec() / 1e6);
+}
+
+std::string KernelJsonRow(const KernelResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"kernel\": \"%s\", \"engine\": \"%s\", \"pairs\": %zu, "
+                "\"elements\": %zu, \"seconds\": %.6f, "
+                "\"pairs_per_sec\": %.0f, \"elements_per_sec\": %.0f}",
+                r.kernel.c_str(), r.engine.c_str(), r.pairs, r.elements,
+                r.seconds, r.pairs_per_sec(), r.elems_per_sec());
+  return buf;
+}
+
+int RunKernelBench(bool smoke, std::vector<std::string>* json_rows) {
+  const size_t kRecords = smoke ? 220 : 2500;
+  const int kPruneReps = smoke ? 1 : 3;
+  const int kMyersReps = smoke ? 1 : 3;
+  Table table = MakeFrontEndTable(kRecords);
+  ScopedNumThreads scope(1);  // kernel-level: single-thread, pure kernel time
+  FeatureCache features(table);
+  const int edit_attr = table.schema().FindAttribute("name");
+
+  const SimdLevel startup = ActiveSimdLevel();
+  const bool avx2 = BuiltWithAvx2() && CpuSupportsAvx2();
+  PrintTitle("SIMD kernels — scalar vs AVX2 (sim/simd_kernels.h)");
+  std::printf("%-14s %-8s %12s %12s %12s\n", "Kernel", "Engine", "Pairs",
+              "Pairs/s", "Elems/s");
+  PrintRule();
+
+  bool ok = true;
+  std::vector<KernelResult> results;
+  auto run_pair = [&](auto bench_fn, const char* what) {
+    KernelResult scalar = bench_fn(SimdLevel::kScalar);
+    PrintKernelRow(scalar);
+    results.push_back(scalar);
+    if (!avx2) return;
+    KernelResult vec = bench_fn(SimdLevel::kAvx2);
+    PrintKernelRow(vec);
+    results.push_back(vec);
+    // Equality gate: never report a speedup for an engine that changed the
+    // answer.
+    if (vec.checksum != scalar.checksum) {
+      std::fprintf(stderr, "FAIL: %s scalar/avx2 checksums diverged\n", what);
+      ok = false;
+    }
+    const double speedup = scalar.seconds / vec.seconds;
+    // 8-lane roofline: the vector kernel retires at most 8 scalar lanes per
+    // step, so 8x the scalar element throughput bounds it from above.
+    const double roofline = 8.0 * scalar.elems_per_sec();
+    std::printf("%-14s %-8s speedup: %.2fx   8-lane roofline: %.0f%%\n",
+                "", "", speedup,
+                100.0 * vec.elems_per_sec() / roofline);
+    PrintRule();
+  };
+  run_pair(
+      [&](SimdLevel level) {
+        return BenchJaccardPruneKernel(features, level, kPruneReps);
+      },
+      "jaccard_prune");
+  run_pair(
+      [&](SimdLevel level) {
+        return BenchBatchMyersKernel(features,
+                                     static_cast<size_t>(edit_attr), level,
+                                     kMyersReps);
+      },
+      "batch_myers");
+  if (!avx2) {
+    std::printf("(AVX2 engine unavailable on this build/CPU — scalar rows "
+                "only)\n");
+    PrintRule();
+  }
+  OverrideSimdLevel(startup);
+
+  for (const KernelResult& r : results) {
+    json_rows->push_back(KernelJsonRow(r));
+  }
+  return ok ? 0 : 1;
+}
+
+int WriteJson(const char* json_path, const std::vector<std::string>& front,
+              const std::vector<std::string>& kernels) {
+  FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"front_end\": [\n");
+  for (size_t i = 0; i < front.size(); ++i) {
+    std::fprintf(f, "%s%s\n", front[i].c_str(),
+                 i + 1 == front.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"kernels\": [\n");
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    std::fprintf(f, "%s%s\n", kernels[i].c_str(),
+                 i + 1 == kernels.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return 0;
 }
 
 }  // namespace
@@ -287,18 +478,32 @@ int RunFrontEndBench(bool smoke, const char* json_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool kernels_only = false;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--kernels-only") == 0) {
+      kernels_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--kernels-only] [--json <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
-  int status = power::bench::RunFrontEndBench(smoke, json_path);
-  if (!smoke) power::bench::RunFigures();
+  int status = 0;
+  std::vector<std::string> front_rows;
+  std::vector<std::string> kernel_rows;
+  if (!kernels_only) {
+    status |= power::bench::RunFrontEndBench(smoke, &front_rows);
+  }
+  status |= power::bench::RunKernelBench(smoke, &kernel_rows);
+  if (json_path != nullptr) {
+    status |= power::bench::WriteJson(json_path, front_rows, kernel_rows);
+  }
+  if (!smoke && !kernels_only) power::bench::RunFigures();
   return status;
 }

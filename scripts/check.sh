@@ -65,9 +65,11 @@ esac
 # feature-cache differential (cached similarity front end == legacy string
 # path, bit for bit, at 1/2/8 threads — its build is itself a sharded hot
 # path), the bit-parallel edit-distance fuzz suite, and the FaultSweep grid
-# (fault-injected serve loops must stay byte-identical at 1/2/8 threads).
+# (fault-injected serve loops must stay byte-identical at 1/2/8 threads),
+# plus the SIMD differential layer (scalar vs AVX2 kernels and the dispatch
+# invariance suite — dispatch resolution itself is a racy first-call CAS).
 # ctest filters by gtest-discovered *test* names, not binary names.
-PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop|FeatureCache|EditDistanceFuzz|FaultSweep'
+PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop|FeatureCache|EditDistanceFuzz|FaultSweep|SimdKernels|SimdDispatch'
 
 if [[ "$RUN_MAIN" == 1 ]]; then
   echo "== build (default flags) =="

@@ -33,6 +33,14 @@ given roots):
                    read anywhere in the simulation makes results depend on
                    the host's scheduler and wrecks replay determinism.
 
+  raw-simd         No raw SSE/AVX intrinsics (`_mm_*` / `_mm256_*` /
+                   `_mm512_*`) outside src/sim/simd_kernels*. Vector code
+                   lives behind the dispatched kernel API (simd_kernels.h)
+                   with a scalar reference and a differential test; an
+                   intrinsic sprinkled anywhere else would fork the
+                   byte-identity proof and silently miss the POWER_SIMD=off
+                   escape hatch.
+
 Suppression: a line, or the line directly above it, containing
     power-lint: allow(<rule>)
 disables <rule> for that line. Each allow should carry a short justification
@@ -65,6 +73,7 @@ NAKED_THREAD = re.compile(
     r"\bstd::(?:thread|jthread|async)\b")
 WALL_CLOCK = re.compile(
     r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b")
+RAW_SIMD = re.compile(r"\b_mm(?:256|512)?_\w+")
 
 CONTINUATION_TYPE = re.compile(r"^\s*(?:const\s+)?std::unordered_")
 
@@ -151,6 +160,8 @@ def check_file(path, rel, findings):
                         rel.replace(os.sep, "/"))
     is_stopwatch = re.search(r"(^|/)util/stopwatch\.h$",
                              rel.replace(os.sep, "/"))
+    is_simd_kernel = re.search(r"(^|/)sim/simd_kernels[^/]*\.(h|cc)$",
+                               rel.replace(os.sep, "/"))
 
     if in_src:
         names = unordered_names(lines)
@@ -188,6 +199,13 @@ def check_file(path, rel, findings):
                     "wall-clock read — simulated time goes through SimClock "
                     "(platform/sim_clock.h); measure wall time only via "
                     "Stopwatch (util/stopwatch.h)"))
+        if not is_simd_kernel and RAW_SIMD.search(line):
+            if not allowed(lines, idx, "raw-simd"):
+                findings.append((
+                    rel, idx + 1, "raw-simd",
+                    "raw SIMD intrinsic — vector code lives in "
+                    "src/sim/simd_kernels* behind the dispatched kernel "
+                    "API (sim/simd_kernels.h) with a scalar reference"))
 
 
 def collect_files(repo, compile_commands, roots):

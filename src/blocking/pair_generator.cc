@@ -1,6 +1,9 @@
 #include "blocking/pair_generator.h"
 
+#include <span>
+
 #include "blocking/prefix_join.h"
+#include "sim/simd_kernels.h"
 #include "sim/similarity_matrix.h"
 #include "util/parallel.h"
 
@@ -11,22 +14,33 @@ std::vector<std::pair<int, int>> AllPairsCandidates(
   // Row-sharded over the pool. Chunks cover ascending i-ranges and their
   // buffers are concatenated in chunk order, so the output ordering is
   // exactly the serial loop's ((i asc, j asc)) at any thread count.
+  //
+  // The inner loop is the record-level Jaccard prune: the row's span is
+  // hoisted, the intersection count comes from the dispatched kernel
+  // (scalar or AVX2 — identical integers), and the threshold decision is
+  // the shared RecordJaccardAtLeast predicate, i.e. exactly
+  // RecordLevelJaccard(features, i, j) >= tau.
   constexpr int64_t kRowGrain = 16;
   const int n = static_cast<int>(features.num_records());
   std::vector<std::vector<std::pair<int, int>>> found(
       NumChunks(0, n, kRowGrain));
-  ParallelForChunked(0, n, kRowGrain,
-                     [&](size_t chunk, int64_t row_begin, int64_t row_end) {
-                       auto& buf = found[chunk];
-                       for (int i = static_cast<int>(row_begin);
-                            i < static_cast<int>(row_end); ++i) {
-                         for (int j = i + 1; j < n; ++j) {
-                           if (RecordLevelJaccard(features, i, j) >= tau) {
-                             buf.emplace_back(i, j);
-                           }
-                         }
-                       }
-                     });
+  ParallelForChunked(
+      0, n, kRowGrain, [&](size_t chunk, int64_t row_begin, int64_t row_end) {
+        auto& buf = found[chunk];
+        for (int i = static_cast<int>(row_begin);
+             i < static_cast<int>(row_end); ++i) {
+          const std::span<const int32_t> ri =
+              features.RecordTokenIds(static_cast<size_t>(i));
+          for (int j = i + 1; j < n; ++j) {
+            const std::span<const int32_t> rj =
+                features.RecordTokenIds(static_cast<size_t>(j));
+            const size_t inter = SortedIntersectionSizeKernel(ri, rj);
+            if (RecordJaccardAtLeast(inter, ri.size(), rj.size(), tau)) {
+              buf.emplace_back(i, j);
+            }
+          }
+        }
+      });
   std::vector<std::pair<int, int>> out;
   for (auto& buf : found) {
     out.insert(out.end(), buf.begin(), buf.end());

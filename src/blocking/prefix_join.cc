@@ -83,16 +83,22 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
         if (last_seen[y] == step) continue;  // already a candidate this probe
         last_seen[y] = step;
         size_t len_y = tokens[y].size();
-        // Length filter: Jaccard >= tau requires tau*len_x <= len_y.
-        if (static_cast<double>(len_y) < tau * static_cast<double>(len_x)) {
+        // Length filter: the best case shares all of the shorter record, so
+        // Jaccard can only reach tau if min/max does. Phrased through the
+        // shared predicate — the exact arithmetic of the verification below
+        // and of the all-pairs scan — so a boundary pair can never be
+        // dropped here that verification would have accepted.
+        if (!RecordJaccardAtLeast(std::min(len_x, len_y), len_x, len_y,
+                                  tau)) {
           continue;
         }
-        // Verification: Jaccard >= tau  <=>  overlap >= tau/(1+tau)*(|x|+|y|).
-        double needed = tau / (1.0 + tau) *
-                        static_cast<double>(len_x + len_y);
+        // Verification: the exact record-level Jaccard prune decision, same
+        // predicate (and same dispatched intersection kernel) as
+        // AllPairsCandidates — not a cross-multiplied epsilon rewrite that
+        // could disagree with it on the tau boundary.
         size_t inter = SortedIntersectionSize(
             std::span<const int32_t>(tx), std::span<const int32_t>(tokens[y]));
-        if (static_cast<double>(inter) + 1e-12 >= needed) {
+        if (RecordJaccardAtLeast(inter, len_x, len_y, tau)) {
           result.emplace_back(std::min(x, y), std::max(x, y));
         }
       }
@@ -102,6 +108,23 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
       index[tx[p]].push_back(x);
     }
   }
+
+  // Token-less records (all-empty / all-whitespace values) never enter the
+  // index, but the record-level prune defines Jaccard(∅, ∅) = 1, so the
+  // all-pairs scan keeps every pair of them. Emit those pairs here too —
+  // the join must return exactly the scan's pair set.
+  if (RecordJaccardAtLeast(0, 0, 0, tau)) {
+    std::vector<int> empty_records;
+    for (int i = 0; i < n; ++i) {
+      if (tokens[i].empty()) empty_records.push_back(i);
+    }
+    for (size_t a = 0; a < empty_records.size(); ++a) {
+      for (size_t b = a + 1; b < empty_records.size(); ++b) {
+        result.emplace_back(empty_records[a], empty_records[b]);
+      }
+    }
+  }
+
   std::sort(result.begin(), result.end());
   return result;
 }

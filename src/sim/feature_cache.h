@@ -120,6 +120,26 @@ class FeatureCache {
 double ComputeSimilarity(const FeatureCache& features, SimilarityFunction fn,
                          size_t i, size_t j, size_t k);
 
+/// THE record-level Jaccard prune comparison — the one boundary predicate
+/// every pruning path shares. Exactly `JaccardOfSets(A, B) >= tau` for
+/// sorted-unique sets of the given sizes with `intersection` common
+/// elements: the same double division, the same empty-set conventions (both
+/// empty -> 1, one empty -> 0), no epsilon, no cross-multiplied rewrite.
+///
+/// AllPairsCandidates, PrefixFilterJoin (verification *and* length filter,
+/// via intersection = min(|A|,|B|)), and the SIMD kernel bench all route
+/// their threshold decision through this one inline so that a
+/// floating-point rewrite in one call site can never make the scalar and
+/// SIMD paths — or the all-pairs scan and the prefix join — disagree on a
+/// pair sitting exactly on the tau boundary.
+inline bool RecordJaccardAtLeast(size_t intersection, size_t size_a,
+                                 size_t size_b, double tau) {
+  if (size_a == 0 && size_b == 0) return 1.0 >= tau;
+  if (size_a == 0 || size_b == 0) return 0.0 >= tau;
+  const size_t uni = size_a + size_b - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(uni) >= tau;
+}
+
 }  // namespace power
 
 #endif  // POWER_SIM_FEATURE_CACHE_H_

@@ -1,0 +1,144 @@
+#include "sim/simd_kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/similarity.h"
+#include "util/check.h"
+
+namespace power {
+namespace {
+
+// -1 = unresolved; otherwise a SimdLevel value. Resolution is idempotent
+// (a pure function of the environment and CPU), so a racing first call from
+// pool threads resolves to the same value on every thread.
+std::atomic<int> g_simd_level{-1};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+bool BuiltWithAvx2() {
+#if POWER_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel ResolveSimdLevel(const char* env_value, bool built_with_avx2,
+                           bool cpu_has_avx2) {
+  const bool avx2_available = built_with_avx2 && cpu_has_avx2;
+  if (env_value == nullptr || env_value[0] == '\0' ||
+      std::strcmp(env_value, "auto") == 0) {
+    return avx2_available ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  }
+  if (std::strcmp(env_value, "off") == 0 ||
+      std::strcmp(env_value, "scalar") == 0) {
+    return SimdLevel::kScalar;
+  }
+  if (std::strcmp(env_value, "avx2") == 0) {
+    if (!avx2_available) {
+      // Falling back is safe — the kernels are byte-identical — but say so
+      // once: the caller asked for a specific engine.
+      std::fprintf(stderr,
+                   "power: POWER_SIMD=avx2 requested but %s; using scalar "
+                   "kernels (results are identical)\n",
+                   built_with_avx2 ? "the CPU lacks AVX2"
+                                   : "this build has no AVX2 kernels");
+      return SimdLevel::kScalar;
+    }
+    return SimdLevel::kAvx2;
+  }
+  std::fprintf(stderr, "power: unknown POWER_SIMD value '%s' (expected off, "
+                       "scalar, avx2, or auto)\n", env_value);
+  std::abort();
+}
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_simd_level.load(std::memory_order_acquire);
+  if (level < 0) {
+    SimdLevel resolved = ResolveSimdLevel(std::getenv("POWER_SIMD"),
+                                          BuiltWithAvx2(), CpuSupportsAvx2());
+    level = static_cast<int>(resolved);
+    int expected = -1;
+    // First writer wins; everyone computed the same value anyway.
+    g_simd_level.compare_exchange_strong(expected, level,
+                                         std::memory_order_acq_rel);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+void OverrideSimdLevel(SimdLevel level) {
+  if (level == SimdLevel::kAvx2) {
+    POWER_CHECK_MSG(BuiltWithAvx2() && CpuSupportsAvx2(),
+                    "OverrideSimdLevel(kAvx2) without AVX2 support");
+  }
+  g_simd_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+size_t SortedIntersectionSizeScalar(std::span<const int32_t> a,
+                                    std::span<const int32_t> b) {
+  size_t inter = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+size_t SortedIntersectionSizeKernel(std::span<const int32_t> a,
+                                    std::span<const int32_t> b) {
+#if POWER_HAVE_AVX2
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return SortedIntersectionSizeAvx2(a, b);
+  }
+#endif
+  return SortedIntersectionSizeScalar(a, b);
+}
+
+void BatchMyersEditDistanceScalar(std::string_view pattern,
+                                  const std::string_view* texts, size_t count,
+                                  size_t* out) {
+  for (size_t t = 0; t < count; ++t) {
+    out[t] = MyersEditDistance(pattern, texts[t]);
+  }
+}
+
+void BatchMyersEditDistance(std::string_view pattern,
+                            const std::string_view* texts, size_t count,
+                            size_t* out) {
+#if POWER_HAVE_AVX2
+  // The vector path keeps one pattern word per lane; longer (or empty)
+  // patterns take the scalar single-pair kernel, which handles every size.
+  if (ActiveSimdLevel() == SimdLevel::kAvx2 && !pattern.empty() &&
+      pattern.size() <= 64) {
+    BatchMyersEditDistanceAvx2(pattern, texts, count, out);
+    return;
+  }
+#endif
+  BatchMyersEditDistanceScalar(pattern, texts, count, out);
+}
+
+}  // namespace power

@@ -1,0 +1,128 @@
+#ifndef POWER_SIM_SIMD_KERNELS_H_
+#define POWER_SIM_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace power {
+
+/// Runtime-dispatched SIMD kernels for the similarity front end's hot loops
+/// over the columnar FeatureCache:
+///
+///   sorted-span intersection — |A ∩ B| of two sorted-unique int32 token-id
+///       spans. Powers SortedIntersectionSize / JaccardOfSets (span
+///       overloads) and therefore the record-level Jaccard prune, the
+///       prefix-filter join verification, and the Jaccard / cosine / overlap
+///       attribute similarities.
+///   batched Myers edit distance — Levenshtein distances of up to 8 texts
+///       per call against one shared reference string, lanes advanced in
+///       lock-step (AVX2: 4 × 64-bit pattern words per vector, two vectors
+///       per column step). Powers the edit-similarity attribute loop in
+///       ComputePairSimilarities, where every pair of a candidate run shares
+///       its left record's cached lowercase bytes as the reference.
+///
+/// Both kernel families are *integer* kernels: they return intersection
+/// counts and edit distances, never floats. Every similarity double is
+/// derived from those integers by the same scalar expressions on every
+/// dispatch path, so scalar and SIMD results are byte-identical by
+/// construction — and a differential-test layer (tests/simd_kernels_test.cc,
+/// tests/simd_dispatch_test.cc) proves it on adversarial inputs and on the
+/// end-to-end question/coloring trace (see DESIGN.md §13).
+///
+/// Dispatch is resolved once, at the first kernel call:
+///   POWER_SIMD=off|scalar   force the scalar kernels;
+///   POWER_SIMD=avx2         force AVX2 (falls back to scalar, with a
+///                           one-time stderr notice, if the binary was built
+///                           without AVX2 support or the CPU lacks it —
+///                           results are identical either way);
+///   POWER_SIMD=auto / unset pick AVX2 when compiled in and the CPU has it.
+/// Any other value aborts (a typo must not silently change the dispatch
+/// under test). Intrinsics live only in src/sim/simd_kernels_avx2.cc,
+/// enforced by the power-lint `raw-simd` rule.
+
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Name for logs/benches: "scalar" or "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// True when this binary carries the AVX2 translation unit (compile-time).
+bool BuiltWithAvx2();
+
+/// True when the CPU executing this process supports AVX2.
+bool CpuSupportsAvx2();
+
+/// Pure dispatch policy: maps a POWER_SIMD value (nullptr/"" = unset) and
+/// the availability bits to the level to run. Unknown values abort. Exposed
+/// separately so the policy is unit-testable without touching the process
+/// environment.
+SimdLevel ResolveSimdLevel(const char* env_value, bool built_with_avx2,
+                           bool cpu_has_avx2);
+
+/// The level kernels currently dispatch to. First call resolves
+/// ResolveSimdLevel(getenv("POWER_SIMD"), ...) and caches it.
+SimdLevel ActiveSimdLevel();
+
+/// Overrides the dispatch level for tests and benches (the differential
+/// layer flips this between runs to compare scalar and AVX2 in one
+/// process). Production code must not call it: the one sanctioned
+/// production override is the POWER_SIMD environment variable.
+void OverrideSimdLevel(SimdLevel level);
+
+// ---------------------------------------------------------------------------
+// Sorted-span intersection.
+// ---------------------------------------------------------------------------
+// Contract (both variants): spans are sorted strictly ascending (sorted
+// unique), and every value is <= INT32_MAX - 8 — FeatureCache token ids and
+// prefix-join ranks are dense non-negative indices, far below that. The
+// AVX2 variant pads partial 8-lane blocks with sentinels above that range.
+
+/// Scalar merge intersection — the reference kernel.
+size_t SortedIntersectionSizeScalar(std::span<const int32_t> a,
+                                    std::span<const int32_t> b);
+
+/// Dispatched intersection: AVX2 when active, else the scalar kernel.
+/// Always returns SortedIntersectionSizeScalar(a, b)'s exact count.
+size_t SortedIntersectionSizeKernel(std::span<const int32_t> a,
+                                    std::span<const int32_t> b);
+
+// ---------------------------------------------------------------------------
+// Batched Myers edit distance.
+// ---------------------------------------------------------------------------
+
+/// Number of pairs a batched Myers call advances per column step at the
+/// widest compiled vector width (two 4×64-bit AVX2 lane groups).
+inline constexpr size_t kMyersBatchLanes = 8;
+
+/// out[t] = MyersEditDistance(pattern, texts[t]) for t in [0, count) —
+/// the scalar reference (it simply calls the scalar single-pair kernel).
+void BatchMyersEditDistanceScalar(std::string_view pattern,
+                                  const std::string_view* texts, size_t count,
+                                  size_t* out);
+
+/// Dispatched batch: identical integers to the scalar reference on every
+/// input. The AVX2 path engages for 1 <= |pattern| <= 64 (one pattern
+/// word); empty or >64-byte patterns take the scalar path, as do the
+/// (count % 8) tail texts of a batch.
+void BatchMyersEditDistance(std::string_view pattern,
+                            const std::string_view* texts, size_t count,
+                            size_t* out);
+
+#if POWER_HAVE_AVX2
+/// AVX2 kernels, exposed directly for the differential tests and the
+/// kernel-level bench (callers normally go through the dispatched entry
+/// points above). Same contracts as the scalar variants.
+size_t SortedIntersectionSizeAvx2(std::span<const int32_t> a,
+                                  std::span<const int32_t> b);
+void BatchMyersEditDistanceAvx2(std::string_view pattern,
+                                const std::string_view* texts, size_t count,
+                                size_t* out);
+#endif  // POWER_HAVE_AVX2
+
+}  // namespace power
+
+#endif  // POWER_SIM_SIMD_KERNELS_H_

@@ -1,0 +1,271 @@
+// AVX2 kernels for the similarity front end. This is the only translation
+// unit in the repo allowed to use vector intrinsics (power-lint rule
+// `raw-simd`); it is compiled with -mavx2 and only ever entered through the
+// runtime dispatch in simd_kernels.cc, so the rest of the library stays
+// baseline-ISA clean.
+//
+// Both kernels are integer kernels with scalar-identical results:
+//
+//   SortedIntersectionSizeAvx2 — block-merge intersection (Schlegel/Lemire
+//     style): compare an 8-lane block of `a` against all 8 cyclic rotations
+//     of an 8-lane block of `b`, popcount the match mask, then advance the
+//     block whose last element is smaller (both on a tie). Partial tail
+//     blocks are mask-loaded and padded with per-side sentinels above the
+//     id range, so no lane ever reads past a span and pad lanes can never
+//     compare equal. Each common value is counted exactly once: values are
+//     strictly ascending and unique, a common value is always inside both
+//     current windows when its blocks first meet, and the advance rule
+//     never lets both containing blocks be live together twice.
+//
+//   BatchMyersEditDistanceAvx2 — Myers' bit-parallel Levenshtein recurrence
+//     (the exact formulation of MyersDistance in similarity.cc, one 64-bit
+//     pattern word) advanced for 8 texts in lock-step: two 4×64-bit vectors
+//     hold the per-text pv/mv words, a third pair holds the running scores.
+//     Texts shorter than the longest in the group go inactive: their state
+//     and score are blend-masked out, which is bit-equivalent to having
+//     stopped their column loop. The pattern's peq table is built once per
+//     call (shared reference string), amortized over the whole batch.
+
+#include "sim/simd_kernels.h"
+
+#if POWER_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace power {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sorted-span intersection.
+// ---------------------------------------------------------------------------
+
+// Pad sentinels: above every legal span value (contract: values <=
+// INT32_MAX - 8) and distinct per side, so a-pads never match b-pads.
+constexpr int32_t kPadA = INT32_MAX;
+constexpr int32_t kPadB = INT32_MAX - 1;
+
+// Loads up to 8 lanes from p (remaining >= 1), padding the tail with `pad`.
+inline __m256i LoadBlockPadded(const int32_t* p, size_t remaining,
+                               int32_t pad) {
+  if (remaining >= 8) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i active =
+      _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int32_t>(remaining)),
+                         lane);
+  const __m256i v = _mm256_maskload_epi32(p, active);
+  return _mm256_blendv_epi8(_mm256_set1_epi32(pad), v, active);
+}
+
+// Count of lanes of `va` that match any lane of `vb` (all-pairs compare via
+// the 8 cyclic rotations of vb). Lanes are unique within a block, so the
+// OR-ed match mask has exactly one set lane per common value.
+inline size_t BlockIntersectCount(__m256i va, __m256i vb) {
+  __m256i m = _mm256_cmpeq_epi32(va, vb);
+  m = _mm256_or_si256(
+      m, _mm256_cmpeq_epi32(
+             va, _mm256_permutevar8x32_epi32(
+                     vb, _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0))));
+  m = _mm256_or_si256(
+      m, _mm256_cmpeq_epi32(
+             va, _mm256_permutevar8x32_epi32(
+                     vb, _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1))));
+  m = _mm256_or_si256(
+      m, _mm256_cmpeq_epi32(
+             va, _mm256_permutevar8x32_epi32(
+                     vb, _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2))));
+  m = _mm256_or_si256(
+      m, _mm256_cmpeq_epi32(
+             va, _mm256_permutevar8x32_epi32(
+                     vb, _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3))));
+  m = _mm256_or_si256(
+      m, _mm256_cmpeq_epi32(
+             va, _mm256_permutevar8x32_epi32(
+                     vb, _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4))));
+  m = _mm256_or_si256(
+      m, _mm256_cmpeq_epi32(
+             va, _mm256_permutevar8x32_epi32(
+                     vb, _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5))));
+  m = _mm256_or_si256(
+      m, _mm256_cmpeq_epi32(
+             va, _mm256_permutevar8x32_epi32(
+                     vb, _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6))));
+  return static_cast<size_t>(__builtin_popcount(
+      static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(m)))));
+}
+
+}  // namespace
+
+size_t SortedIntersectionSizeAvx2(std::span<const int32_t> a,
+                                  std::span<const int32_t> b) {
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  if (na == 0 || nb == 0) return 0;
+
+  const size_t nblocks_a = (na + 7) / 8;
+  const size_t nblocks_b = (nb + 7) / 8;
+  size_t i = 0;
+  size_t j = 0;
+  __m256i va = LoadBlockPadded(a.data(), na, kPadA);
+  __m256i vb = LoadBlockPadded(b.data(), nb, kPadB);
+  // Last element of the current block; padded tails report the sentinel,
+  // which (being maximal) correctly keeps the tail block live until the
+  // other side runs out.
+  int32_t amax = (na >= 8) ? a[7] : kPadA;
+  int32_t bmax = (nb >= 8) ? b[7] : kPadB;
+
+  size_t count = 0;
+  for (;;) {
+    count += BlockIntersectCount(va, vb);
+    const bool advance_a = amax <= bmax;
+    const bool advance_b = bmax <= amax;
+    if (advance_a) {
+      if (++i == nblocks_a) break;
+      va = LoadBlockPadded(a.data() + i * 8, na - i * 8, kPadA);
+      amax = (i * 8 + 8 <= na) ? a[i * 8 + 7] : kPadA;
+    }
+    if (advance_b) {
+      if (++j == nblocks_b) break;
+      vb = LoadBlockPadded(b.data() + j * 8, nb - j * 8, kPadB);
+      bmax = (j * 8 + 8 <= nb) ? b[j * 8 + 7] : kPadB;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Batched Myers edit distance.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// State of one 4-text lane group: pv/mv pattern words and running scores,
+// one 64-bit lane per text.
+struct MyersLanes {
+  __m256i pv;
+  __m256i mv;
+  __m256i score;
+  __m256i len;  // text lengths, for the active-lane mask
+};
+
+inline MyersLanes InitLanes(size_t m, const std::string_view* texts,
+                            size_t count) {
+  MyersLanes lanes;
+  lanes.pv = _mm256_set1_epi64x(-1);
+  lanes.mv = _mm256_setzero_si256();
+  lanes.score = _mm256_set1_epi64x(static_cast<long long>(m));
+  alignas(32) int64_t len[4] = {0, 0, 0, 0};
+  for (size_t l = 0; l < 4 && l < count; ++l) {
+    len[l] = static_cast<int64_t>(texts[l].size());
+  }
+  lanes.len = _mm256_load_si256(reinterpret_cast<const __m256i*>(len));
+  return lanes;
+}
+
+// One column step of the single-word Myers recurrence on 4 lanes. eq holds
+// each lane's peq word for its column character (0 for inactive lanes —
+// blended away below). Mirrors the scalar loop in similarity.cc bit for
+// bit, per lane.
+inline void AdvanceLanes(MyersLanes* lanes, __m256i eq, __m256i high,
+                         __m256i col) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  const __m256i active = _mm256_cmpgt_epi64(lanes->len, col);
+
+  const __m256i pv = lanes->pv;
+  const __m256i mv = lanes->mv;
+  const __m256i xv = _mm256_or_si256(eq, mv);
+  const __m256i eq_and_pv = _mm256_and_si256(eq, pv);
+  const __m256i xh = _mm256_or_si256(
+      _mm256_xor_si256(_mm256_add_epi64(eq_and_pv, pv), pv), eq);
+  __m256i ph =
+      _mm256_or_si256(mv, _mm256_andnot_si256(_mm256_or_si256(xh, pv), ones));
+  __m256i mh = _mm256_and_si256(pv, xh);
+
+  // score += (ph & high) ? 1 : (mh & high) ? -1 : 0, active lanes only.
+  // cmpeq yields -1 per hit lane, so subtract the plus mask and add the
+  // minus mask. ph-hit and mh-hit are mutually exclusive (ph & mh == 0).
+  const __m256i plus =
+      _mm256_cmpeq_epi64(_mm256_and_si256(ph, high), high);
+  const __m256i minus =
+      _mm256_cmpeq_epi64(_mm256_and_si256(mh, high), high);
+  // minus - plus: a ph hit gives 0 - (-1) = +1, an mh hit -1 - 0 = -1.
+  __m256i delta = _mm256_sub_epi64(minus, plus);
+  delta = _mm256_and_si256(delta, active);
+  lanes->score = _mm256_add_epi64(lanes->score, delta);
+
+  ph = _mm256_or_si256(_mm256_slli_epi64(ph, 1), _mm256_set1_epi64x(1));
+  mh = _mm256_slli_epi64(mh, 1);
+  const __m256i pv_next =
+      _mm256_or_si256(mh, _mm256_andnot_si256(_mm256_or_si256(xv, ph), ones));
+  const __m256i mv_next = _mm256_and_si256(ph, xv);
+  lanes->pv = _mm256_blendv_epi8(pv, pv_next, active);
+  lanes->mv = _mm256_blendv_epi8(mv, mv_next, active);
+}
+
+// peq words for one column of 4 texts; inactive lanes get 0.
+inline __m256i GatherEq(const uint64_t* peq, const std::string_view* texts,
+                        size_t count, size_t col) {
+  alignas(32) uint64_t eq[4] = {0, 0, 0, 0};
+  for (size_t l = 0; l < 4 && l < count; ++l) {
+    if (col < texts[l].size()) {
+      eq[l] = peq[static_cast<unsigned char>(texts[l][col])];
+    }
+  }
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(eq));
+}
+
+inline void StoreScores(const MyersLanes& lanes, size_t count, size_t* out) {
+  alignas(32) int64_t score[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(score), lanes.score);
+  for (size_t l = 0; l < 4 && l < count; ++l) {
+    out[l] = static_cast<size_t>(score[l]);
+  }
+}
+
+}  // namespace
+
+void BatchMyersEditDistanceAvx2(std::string_view pattern,
+                                const std::string_view* texts, size_t count,
+                                size_t* out) {
+  const size_t m = pattern.size();
+  // Dispatch guarantees 1 <= m <= 64; the recurrence below carries one
+  // pattern word per lane.
+  uint64_t peq[256];
+  std::memset(peq, 0, sizeof(peq));
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(pattern[i])] |= 1ULL << i;
+  }
+  const __m256i high = _mm256_set1_epi64x(
+      static_cast<long long>(1ULL << (m - 1)));
+
+  for (size_t base = 0; base < count; base += kMyersBatchLanes) {
+    const size_t n0 = count - base;            // texts left for group 0
+    const size_t n1 = n0 > 4 ? n0 - 4 : 0;     // texts left for group 1
+    const std::string_view* t0 = texts + base;
+    const std::string_view* t1 = t0 + 4;
+    MyersLanes g0 = InitLanes(m, t0, n0);
+    MyersLanes g1 = InitLanes(m, t1, n1);
+    size_t max_len = 0;
+    for (size_t l = 0; l < kMyersBatchLanes && base + l < count; ++l) {
+      max_len = texts[base + l].size() > max_len ? texts[base + l].size()
+                                                 : max_len;
+    }
+    for (size_t col = 0; col < max_len; ++col) {
+      const __m256i col_v =
+          _mm256_set1_epi64x(static_cast<long long>(col));
+      AdvanceLanes(&g0, GatherEq(peq, t0, n0, col), high, col_v);
+      if (n1 > 0) {
+        AdvanceLanes(&g1, GatherEq(peq, t1, n1, col), high, col_v);
+      }
+    }
+    StoreScores(g0, n0, out + base);
+    if (n1 > 0) StoreScores(g1, n1, out + base + 4);
+  }
+}
+
+}  // namespace power
+
+#endif  // POWER_HAVE_AVX2

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/simd_kernels.h"
 #include "util/strings.h"
 
 namespace power {
@@ -67,21 +68,10 @@ double JaccardOfSets(const std::vector<std::string>& a,
 
 size_t SortedIntersectionSize(std::span<const int32_t> a,
                               std::span<const int32_t> b) {
-  size_t inter = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++inter;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return inter;
+  // Dispatched kernel (scalar merge or AVX2 block merge — identical counts;
+  // see sim/simd_kernels.h). The string-vector overload above stays scalar:
+  // it is the legacy differential reference and never sees interned ids.
+  return SortedIntersectionSizeKernel(a, b);
 }
 
 double JaccardOfSets(std::span<const int32_t> a, std::span<const int32_t> b) {

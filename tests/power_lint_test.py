@@ -50,6 +50,8 @@ void Bad() {
   t.join();
   auto deadline = std::chrono::steady_clock::now();  // wall-clock read
   (void)deadline;
+  __m256i sum = _mm256_add_epi64(sum, sum);  // intrinsic outside simd_kernels
+  (void)sum;
 }
 """
 
@@ -83,6 +85,7 @@ def main():
         expect("raw-random fires", "raw-random" in out, out)
         expect("naked-thread fires", "naked-thread" in out, out)
         expect("wall-clock fires", "wall-clock" in out, out)
+        expect("raw-simd fires", "raw-simd" in out, out)
 
     # 3. allow() suppresses, and only the named rule.
     with tempfile.TemporaryDirectory() as tmp:
@@ -92,6 +95,16 @@ def main():
             f.write(SUPPRESSED)
         code, out = run_lint([src])
         expect("suppression honored", code == 0, out)
+
+    # 4. The sanctioned intrinsics home (src/sim/simd_kernels*) is exempt
+    #    from raw-simd.
+    with tempfile.TemporaryDirectory() as tmp:
+        sim = os.path.join(tmp, "src", "sim")
+        os.makedirs(sim)
+        with open(os.path.join(sim, "simd_kernels_avx2.cc"), "w") as f:
+            f.write("__m256i V(__m256i a) { return _mm256_add_epi64(a, a); }\n")
+        code, out = run_lint([os.path.join(tmp, "src")])
+        expect("simd_kernels exempt from raw-simd", code == 0, out)
 
     if FAILURES:
         print(f"{len(FAILURES)} failure(s)", file=sys.stderr)

@@ -1,0 +1,255 @@
+#include "sim/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/pair_generator.h"
+#include "blocking/prefix_join.h"
+#include "core/power.h"
+#include "crowd/answer_cache.h"
+#include "data/table.h"
+#include "sim/feature_cache.h"
+#include "sim/similarity_matrix.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+// End-to-end dispatch invariance: the similarity front end must produce the
+// same similarity doubles, the same candidate lists, and the same
+// question/coloring trace whether the kernels dispatch to scalar or AVX2 —
+// at 1, 2 and 8 threads. The whole binary is registered with ctest twice:
+// once under the ambient environment (AVX2 dispatch where available) and
+// once as SimdDispatchEnvOff with POWER_SIMD=off, so the same assertions
+// also pin down that the environment override really routes to the scalar
+// kernels (tests/CMakeLists.txt).
+
+namespace power {
+namespace {
+
+// The level the environment resolved to at process startup, captured before
+// any test overrides it.
+const SimdLevel kStartupLevel = ActiveSimdLevel();
+
+bool Avx2Runnable() { return BuiltWithAvx2() && CpuSupportsAvx2(); }
+
+std::vector<SimdLevel> LevelsUnderTest() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (Avx2Runnable()) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+// Same adversarial-value mix as tests/feature_cache_test.cc, trimmed: mixed
+// case, empty and whitespace-only cells, duplicated tokens, values long
+// enough to cross the 64-char Myers word boundary.
+std::string RandomValue(Rng* rng) {
+  auto word = [&] {
+    int len = rng->UniformInt(1, 8);
+    std::string w;
+    for (int c = 0; c < len; ++c) {
+      char base = rng->Bernoulli(0.3) ? 'A' : 'a';
+      w.push_back(static_cast<char>(base + rng->UniformInt(0, 5)));
+    }
+    return w;
+  };
+  switch (rng->UniformInt(0, 5)) {
+    case 0:
+      return std::string();
+    case 1:
+      return std::string("  \t ");
+    case 2: {  // > 64 lowercase bytes: the batched kernel's word boundary
+      std::string big;
+      while (big.size() < 90) {
+        big += word();
+        big.push_back(' ');
+      }
+      return big;
+    }
+    case 3: {  // duplicated tokens
+      std::string dup;
+      std::string w = word();
+      for (int r = 0; r < rng->UniformInt(2, 5); ++r) {
+        dup += w;
+        dup += ' ';
+      }
+      return dup;
+    }
+    default: {
+      std::string v;
+      int words = rng->UniformInt(1, 5);
+      for (int w = 0; w < words; ++w) {
+        if (w > 0) v.push_back(' ');
+        v += word();
+      }
+      return v;
+    }
+  }
+}
+
+Table MakeTable(uint64_t seed, int num_records) {
+  Schema schema({{"a_jac", SimilarityFunction::kJaccard},
+                 {"a_edit", SimilarityFunction::kEditSimilarity},
+                 {"a_bigram", SimilarityFunction::kBigramJaccard}});
+  Table table(schema);
+  Rng rng(seed);
+  for (int i = 0; i < num_records; ++i) {
+    Record r;
+    r.entity_id = rng.UniformInt(0, num_records / 3 + 1);
+    if (i > 0 && rng.Bernoulli(0.5)) {
+      size_t base = rng.UniformIndex(static_cast<size_t>(i));
+      r.values = table.record(base).values;
+      r.entity_id = table.record(base).entity_id;
+      r.values[rng.UniformIndex(schema.num_attributes())] = RandomValue(&rng);
+    } else {
+      for (size_t k = 0; k < schema.num_attributes(); ++k) {
+        r.values.push_back(RandomValue(&rng));
+      }
+    }
+    table.Add(std::move(r));
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// The environment really selects the dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchEnv, StartupLevelMatchesEnvironmentPolicy) {
+  const char* env = std::getenv("POWER_SIMD");
+  EXPECT_EQ(kStartupLevel,
+            ResolveSimdLevel(env, BuiltWithAvx2(), CpuSupportsAvx2()));
+  if (env != nullptr &&
+      (std::string(env) == "off" || std::string(env) == "scalar")) {
+    EXPECT_EQ(kStartupLevel, SimdLevel::kScalar);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Similarity vectors and candidate lists are byte-identical across dispatch
+// levels, at 1, 2 and 8 threads.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchDifferential, SimilarityVectorsInvariantAcrossLevels) {
+  constexpr double kFloor = 0.2;
+  Table table = MakeTable(/*seed=*/311, /*num_records=*/36);
+  const int n = static_cast<int>(table.num_records());
+  std::vector<std::pair<int, int>> all_pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) all_pairs.emplace_back(i, j);
+  }
+
+  // Reference: scalar kernels, serial.
+  std::vector<SimilarPair> reference;
+  {
+    OverrideSimdLevel(SimdLevel::kScalar);
+    ScopedNumThreads scope(1);
+    FeatureCache features(table);
+    reference = ComputePairSimilarities(features, all_pairs, kFloor);
+  }
+
+  for (SimdLevel level : LevelsUnderTest()) {
+    for (int threads : {1, 2, 8}) {
+      OverrideSimdLevel(level);
+      ScopedNumThreads scope(threads);
+      FeatureCache features(table);
+      std::vector<SimilarPair> got =
+          ComputePairSimilarities(features, all_pairs, kFloor);
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t p = 0; p < got.size(); ++p) {
+        EXPECT_EQ(got[p].i, reference[p].i);
+        EXPECT_EQ(got[p].j, reference[p].j);
+        ASSERT_EQ(got[p].sims.size(), reference[p].sims.size());
+        for (size_t k = 0; k < got[p].sims.size(); ++k) {
+          // Bit-exact: the SIMD kernels return the same integers, so every
+          // derived double must carry the same bits.
+          EXPECT_EQ(got[p].sims[k], reference[p].sims[k])
+              << "pair (" << got[p].i << "," << got[p].j << ") attribute "
+              << k << " level " << SimdLevelName(level) << " threads "
+              << threads;
+        }
+      }
+    }
+  }
+  OverrideSimdLevel(kStartupLevel);
+}
+
+TEST(SimdDispatchDifferential, CandidateListsInvariantAcrossLevels) {
+  constexpr double kTau = 0.3;
+  Table table = MakeTable(/*seed=*/421, /*num_records=*/48);
+
+  std::vector<std::pair<int, int>> reference;
+  {
+    OverrideSimdLevel(SimdLevel::kScalar);
+    ScopedNumThreads scope(1);
+    FeatureCache features(table);
+    reference = AllPairsCandidates(features, kTau);
+  }
+
+  for (SimdLevel level : LevelsUnderTest()) {
+    for (int threads : {1, 2, 8}) {
+      OverrideSimdLevel(level);
+      ScopedNumThreads scope(threads);
+      FeatureCache features(table);
+      EXPECT_EQ(AllPairsCandidates(features, kTau), reference)
+          << "all-pairs diverged, level " << SimdLevelName(level)
+          << " threads " << threads;
+      EXPECT_EQ(PrefixFilterJoin(features, kTau), reference)
+          << "prefix join diverged, level " << SimdLevelName(level)
+          << " threads " << threads;
+    }
+  }
+  OverrideSimdLevel(kStartupLevel);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the full Run trace — questions asked, iterations, matched
+// pairs — is invariant across dispatch levels at every thread count.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchEndToEnd, RunTraceInvariantAcrossLevelsAndThreads) {
+  Table table = MakeTable(/*seed=*/127, /*num_records=*/40);
+
+  PowerConfig config;
+  config.prune_tau = 0.2;
+  config.component_floor = 0.2;
+  config.seed = 17;
+
+  PowerResult reference;
+  {
+    OverrideSimdLevel(SimdLevel::kScalar);
+    PowerConfig serial = config;
+    serial.num_threads = 1;
+    CrowdOracle oracle(&table, Band90(), WorkerModel::kExactAccuracy,
+                       /*workers_per_question=*/5, /*seed=*/99);
+    reference = PowerFramework(serial).Run(table, &oracle);
+  }
+  ASSERT_GT(reference.num_pairs, 0u);
+  ASSERT_GT(reference.questions, 0u);
+
+  for (SimdLevel level : LevelsUnderTest()) {
+    for (int threads : {1, 2, 8}) {
+      OverrideSimdLevel(level);
+      PowerConfig cfg = config;
+      cfg.num_threads = threads;
+      // Crowd answers depend only on (seed, pair): a fresh same-seed oracle
+      // answers identically to the reference run's.
+      CrowdOracle oracle(&table, Band90(), WorkerModel::kExactAccuracy,
+                         /*workers_per_question=*/5, /*seed=*/99);
+      PowerResult got = PowerFramework(cfg).Run(table, &oracle);
+      EXPECT_EQ(got.num_pairs, reference.num_pairs)
+          << SimdLevelName(level) << " " << threads << " threads";
+      EXPECT_EQ(got.questions, reference.questions)
+          << SimdLevelName(level) << " " << threads << " threads";
+      EXPECT_EQ(got.iterations, reference.iterations)
+          << SimdLevelName(level) << " " << threads << " threads";
+      EXPECT_EQ(got.matched_pairs, reference.matched_pairs)
+          << SimdLevelName(level) << " " << threads << " threads";
+    }
+  }
+  OverrideSimdLevel(kStartupLevel);
+}
+
+}  // namespace
+}  // namespace power

@@ -1,0 +1,347 @@
+#include "sim/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/pair_generator.h"
+#include "blocking/prefix_join.h"
+#include "data/table.h"
+#include "sim/feature_cache.h"
+#include "sim/similarity.h"
+#include "sim/tokenizer.h"
+#include "util/rng.h"
+
+// Differential fuzz of the SIMD kernels against their scalar references:
+// every intersection count and every batched Myers distance must be the
+// exact integer the scalar kernel returns, on adversarial inputs — empty
+// and singleton spans, all-common and disjoint dictionaries, unaligned span
+// starts carved from one arena, strings crossing the 64-char Myers word
+// boundary — under both dispatch modes. Plus unit coverage of the dispatch
+// policy itself and of the shared record-level Jaccard prune predicate.
+
+namespace power {
+namespace {
+
+// Restores the ambient dispatch level when a test that flips it exits.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : saved_(ActiveSimdLevel()) {
+    OverrideSimdLevel(level);
+  }
+  ~ScopedSimdLevel() { OverrideSimdLevel(saved_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel saved_;
+};
+
+bool Avx2Runnable() { return BuiltWithAvx2() && CpuSupportsAvx2(); }
+
+// Set-based reference, independent of both kernels.
+size_t ReferenceIntersection(std::span<const int32_t> a,
+                             std::span<const int32_t> b) {
+  std::set<int32_t> sa(a.begin(), a.end());
+  size_t inter = 0;
+  for (int32_t v : b) inter += sa.count(v);
+  return inter;
+}
+
+std::vector<int32_t> RandomSortedUnique(Rng* rng, size_t max_size,
+                                        int32_t universe) {
+  std::set<int32_t> s;
+  size_t target = rng->UniformIndex(max_size + 1);
+  for (size_t t = 0; t < target; ++t) {
+    s.insert(static_cast<int32_t>(rng->UniformIndex(
+        static_cast<size_t>(universe))));
+  }
+  return {s.begin(), s.end()};
+}
+
+void ExpectAllVariantsAgree(std::span<const int32_t> a,
+                            std::span<const int32_t> b) {
+  const size_t expected = ReferenceIntersection(a, b);
+  ASSERT_EQ(SortedIntersectionSizeScalar(a, b), expected);
+  ASSERT_EQ(SortedIntersectionSizeScalar(b, a), expected);
+#if POWER_HAVE_AVX2
+  if (Avx2Runnable()) {
+    ASSERT_EQ(SortedIntersectionSizeAvx2(a, b), expected);
+    ASSERT_EQ(SortedIntersectionSizeAvx2(b, a), expected);
+  }
+#endif
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    if (level == SimdLevel::kAvx2 && !Avx2Runnable()) continue;
+    ScopedSimdLevel scope(level);
+    ASSERT_EQ(SortedIntersectionSizeKernel(a, b), expected)
+        << "dispatch " << SimdLevelName(level);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-span intersection.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelsIntersection, AdversarialFixedCases) {
+  const std::vector<int32_t> empty;
+  const std::vector<int32_t> one = {7};
+  const std::vector<int32_t> other = {9};
+  std::vector<int32_t> dense(100);
+  for (int32_t v = 0; v < 100; ++v) dense[static_cast<size_t>(v)] = v;
+  std::vector<int32_t> evens;
+  std::vector<int32_t> odds;
+  for (int32_t v = 0; v < 200; v += 2) {
+    evens.push_back(v);
+    odds.push_back(v + 1);
+  }
+
+  ExpectAllVariantsAgree(empty, empty);          // both empty
+  ExpectAllVariantsAgree(empty, dense);          // one empty
+  ExpectAllVariantsAgree(one, one);              // singleton, all common
+  ExpectAllVariantsAgree(one, other);            // singleton, disjoint
+  ExpectAllVariantsAgree(one, dense);            // singleton vs block run
+  ExpectAllVariantsAgree(dense, dense);          // all common
+  ExpectAllVariantsAgree(evens, odds);           // fully disjoint, interleaved
+  ExpectAllVariantsAgree(dense, evens);          // half common
+  // Sizes straddling the 8-lane block boundary on each side.
+  for (size_t cut_a : {1u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+    for (size_t cut_b : {1u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+      ExpectAllVariantsAgree(std::span(dense).subspan(0, cut_a),
+                             std::span(evens).subspan(0, cut_b));
+    }
+  }
+}
+
+TEST(SimdKernelsIntersection, RandomizedDifferentialFuzz) {
+  Rng rng(20260809);
+  for (int round = 0; round < 400; ++round) {
+    // Universe size steers the overlap density from all-common to disjoint.
+    const int32_t universe =
+        rng.Bernoulli(0.3) ? 24 : (rng.Bernoulli(0.5) ? 500 : 100000);
+    std::vector<int32_t> a = RandomSortedUnique(&rng, 80, universe);
+    std::vector<int32_t> b = RandomSortedUnique(&rng, 80, universe);
+    ExpectAllVariantsAgree(a, b);
+  }
+}
+
+TEST(SimdKernelsIntersection, UnalignedSpanStartsOverSharedArena) {
+  // Spans carved out of one CSR-style arena at every offset mod 8: the AVX2
+  // kernel must behave identically on unaligned loads and partial-tail
+  // blocks whose neighbors in the arena hold live (potentially matching)
+  // values.
+  Rng rng(77);
+  std::vector<int32_t> arena;
+  int32_t v = 0;
+  for (size_t t = 0; t < 400; ++t) {
+    v += 1 + static_cast<int32_t>(rng.UniformIndex(3));
+    arena.push_back(v);
+  }
+  for (size_t off_a = 0; off_a < 16; ++off_a) {
+    for (size_t len_a : {0u, 1u, 5u, 8u, 13u, 40u}) {
+      for (size_t off_b : {3u, 10u, 128u, 301u}) {
+        for (size_t len_b : {1u, 7u, 9u, 33u}) {
+          ExpectAllVariantsAgree(
+              std::span(arena).subspan(off_a, len_a),
+              std::span(arena).subspan(off_b, len_b));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched Myers edit distance.
+// ---------------------------------------------------------------------------
+
+std::string RandomText(Rng* rng, size_t len, int alphabet) {
+  std::string s;
+  s.reserve(len);
+  for (size_t c = 0; c < len; ++c) {
+    s.push_back(static_cast<char>('a' + rng->UniformInt(0, alphabet - 1)));
+  }
+  return s;
+}
+
+void ExpectBatchMatchesSinglePair(const std::string& pattern,
+                                  const std::vector<std::string>& texts) {
+  std::vector<std::string_view> views(texts.begin(), texts.end());
+  std::vector<size_t> expected(texts.size());
+  for (size_t t = 0; t < texts.size(); ++t) {
+    // The existing DP reference from edit_distance_fuzz_test's subject:
+    // MyersEditDistance is itself fuzzed against EditDistance, so anchor
+    // the batch to both.
+    expected[t] = EditDistance(pattern, texts[t]);
+    ASSERT_EQ(MyersEditDistance(pattern, texts[t]), expected[t]);
+  }
+
+  std::vector<size_t> got(texts.size(), ~size_t{0});
+  BatchMyersEditDistanceScalar(pattern, views.data(), views.size(),
+                               got.data());
+  ASSERT_EQ(got, expected);
+
+#if POWER_HAVE_AVX2
+  if (Avx2Runnable() && !pattern.empty() && pattern.size() <= 64) {
+    std::vector<size_t> avx(texts.size(), ~size_t{0});
+    BatchMyersEditDistanceAvx2(pattern, views.data(), views.size(),
+                               avx.data());
+    ASSERT_EQ(avx, expected) << "pattern \"" << pattern << "\"";
+  }
+#endif
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    if (level == SimdLevel::kAvx2 && !Avx2Runnable()) continue;
+    ScopedSimdLevel scope(level);
+    std::vector<size_t> dispatched(texts.size(), ~size_t{0});
+    BatchMyersEditDistance(pattern, views.data(), views.size(),
+                           dispatched.data());
+    ASSERT_EQ(dispatched, expected) << "dispatch " << SimdLevelName(level);
+  }
+}
+
+TEST(SimdKernelsMyers, BatchedMatchesSinglePairOnWordBoundaryPatterns) {
+  Rng rng(4242);
+  // Pattern lengths pinned around the 64-char single-word boundary (65+
+  // exercises the scalar fallback inside the dispatched batch).
+  for (size_t pattern_len : {0u, 1u, 2u, 31u, 63u, 64u, 65u, 100u}) {
+    std::string pattern = RandomText(&rng, pattern_len, 4);
+    std::vector<std::string> texts;
+    // Batch sizes straddle the 8-lane group: remainder lanes 1..7 plus a
+    // full second group.
+    for (size_t t = 0; t < 19; ++t) {
+      size_t len = rng.UniformIndex(130);
+      if (t % 7 == 0) len = 0;              // empty text lanes
+      if (t % 5 == 0) len = 64 + t;         // cross the word boundary
+      texts.push_back(RandomText(&rng, len, 4));
+    }
+    ExpectBatchMatchesSinglePair(pattern, texts);
+  }
+}
+
+TEST(SimdKernelsMyers, RandomizedBatchFuzz) {
+  Rng rng(99991);
+  for (int round = 0; round < 60; ++round) {
+    const int alphabet = rng.Bernoulli(0.5) ? 2 : 8;
+    std::string pattern =
+        RandomText(&rng, rng.UniformIndex(70), alphabet);
+    std::vector<std::string> texts;
+    const size_t count = 1 + rng.UniformIndex(17);
+    for (size_t t = 0; t < count; ++t) {
+      texts.push_back(RandomText(&rng, rng.UniformIndex(150), alphabet));
+    }
+    ExpectBatchMatchesSinglePair(pattern, texts);
+  }
+}
+
+TEST(SimdKernelsMyers, IdenticalAndDegenerateTexts) {
+  std::string p64(64, 'x');
+  std::string p63 = p64.substr(1);
+  ExpectBatchMatchesSinglePair(p64, {p64, p63, "", "x", p64 + "y"});
+  ExpectBatchMatchesSinglePair("", {"", "abc", p64});
+  ExpectBatchMatchesSinglePair("a", {"", "a", "b", "aa", p64});
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch policy.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelsDispatch, ResolvePolicy) {
+  // Unset / empty / auto: highest available level.
+  for (const char* env : {static_cast<const char*>(nullptr), "", "auto"}) {
+    EXPECT_EQ(ResolveSimdLevel(env, true, true), SimdLevel::kAvx2);
+    EXPECT_EQ(ResolveSimdLevel(env, true, false), SimdLevel::kScalar);
+    EXPECT_EQ(ResolveSimdLevel(env, false, true), SimdLevel::kScalar);
+    EXPECT_EQ(ResolveSimdLevel(env, false, false), SimdLevel::kScalar);
+  }
+  // Forced off.
+  EXPECT_EQ(ResolveSimdLevel("off", true, true), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("scalar", true, true), SimdLevel::kScalar);
+  // Forced avx2: honored when available, safe scalar fallback otherwise.
+  EXPECT_EQ(ResolveSimdLevel("avx2", true, true), SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel("avx2", true, false), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("avx2", false, false), SimdLevel::kScalar);
+  // Unknown values abort rather than silently changing the engine.
+  EXPECT_DEATH(ResolveSimdLevel("sse9", true, true), "unknown POWER_SIMD");
+}
+
+// ---------------------------------------------------------------------------
+// The shared record-level Jaccard prune predicate (feature_cache.h).
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelsPrunePredicate, MatchesJaccardOfSetsOnEveryBoundary) {
+  // Exhaustive small grid: the predicate must decide exactly like the
+  // similarity double the legacy scan thresholds, including set sizes whose
+  // Jaccard lands exactly on tau (1/2, 1/3, 2/3, ...).
+  const double taus[] = {0.0,       1.0 / 3.0, 0.25, 0.3, 0.5,
+                         2.0 / 3.0, 0.75,      0.9,  1.0};
+  for (size_t na = 0; na <= 12; ++na) {
+    for (size_t nb = 0; nb <= 12; ++nb) {
+      for (size_t inter = 0; inter <= std::min(na, nb); ++inter) {
+        // Materialize spans with exactly this overlap shape and compare
+        // against the actual JaccardOfSets double.
+        std::vector<int32_t> a;
+        std::vector<int32_t> b;
+        for (size_t v = 0; v < inter; ++v) {
+          a.push_back(static_cast<int32_t>(v));
+          b.push_back(static_cast<int32_t>(v));
+        }
+        for (size_t v = inter; v < na; ++v) {
+          a.push_back(static_cast<int32_t>(1000 + v));
+        }
+        for (size_t v = inter; v < nb; ++v) {
+          b.push_back(static_cast<int32_t>(2000 + v));
+        }
+        const double jac = JaccardOfSets(std::span<const int32_t>(a),
+                                         std::span<const int32_t>(b));
+        for (double tau : taus) {
+          EXPECT_EQ(RecordJaccardAtLeast(inter, na, nb, tau), jac >= tau)
+              << "inter " << inter << " |A| " << na << " |B| " << nb
+              << " tau " << tau;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsPrunePredicate, PrefixJoinAgreesWithAllPairsOnBoundaries) {
+  // Records engineered so pair Jaccards land exactly on tau = 0.5
+  // (2 common / 4 union), plus token-less records, whose pairs the
+  // record-level prune keeps by the Jaccard(∅, ∅) = 1 convention.
+  Schema schema({{"text", SimilarityFunction::kJaccard}});
+  Table table(schema);
+  auto add = [&](const std::string& text) {
+    Record r;
+    r.entity_id = static_cast<int>(table.num_records());
+    r.values = {text};
+    table.Add(std::move(r));
+  };
+  add("alpha beta gamma");        // 0
+  add("alpha beta delta");        // 1: jac(0,1) = 2/4 = tau exactly
+  add("alpha beta");              // 2: jac(0,2) = 2/3, jac(1,2) = 2/3
+  add("zeta");                    // 3: disjoint from the rest
+  add("");                        // 4: token-less
+  add("  \t ");                   // 5: token-less (whitespace only)
+  add("alpha");                   // 6: jac(2,6) = 1/2 = tau exactly
+
+  const double tau = 0.5;
+  FeatureCache features(table);
+  std::vector<std::pair<int, int>> scan = AllPairsCandidates(features, tau);
+  std::vector<std::pair<int, int>> join = PrefixFilterJoin(features, tau);
+  EXPECT_EQ(join, scan);
+  // The boundary pairs and the empty-record pair are all present.
+  auto has = [&](int i, int j) {
+    return std::find(scan.begin(), scan.end(), std::make_pair(i, j)) !=
+           scan.end();
+  };
+  EXPECT_TRUE(has(0, 1));  // exactly tau
+  EXPECT_TRUE(has(2, 6));  // exactly tau
+  EXPECT_TRUE(has(4, 5));  // Jaccard(∅, ∅) = 1
+  EXPECT_FALSE(has(0, 3));
+}
+
+}  // namespace
+}  // namespace power
