@@ -168,6 +168,10 @@ int Run(bool smoke, const char* json_path) {
     }
   }
 
+  PrintRule();
+  std::printf("peak RSS: %.1f MB\n",
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
+
   if (json_path != nullptr) {
     FILE* f = std::fopen(json_path, "w");
     if (f == nullptr) {

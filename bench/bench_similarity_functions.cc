@@ -505,5 +505,8 @@ int main(int argc, char** argv) {
     status |= power::bench::WriteJson(json_path, front_rows, kernel_rows);
   }
   if (!smoke && !kernels_only) power::bench::RunFigures();
+  std::printf(
+      "peak RSS: %.1f MB\n",
+      static_cast<double>(power::bench::PeakRssBytes()) / (1024.0 * 1024.0));
   return status;
 }

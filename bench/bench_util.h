@@ -1,6 +1,8 @@
 #ifndef POWER_BENCH_BENCH_UTIL_H_
 #define POWER_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -56,6 +58,19 @@ inline std::vector<BenchDataset> AllDatasets() {
   out.push_back(MakeDataset(CoraProfile()));
   out.push_back(MakeDataset(AcmPubProfile(AcmPubScale())));
   return out;
+}
+
+/// Peak resident set size of this process so far, in bytes (the kernel's
+/// high-water mark — monotone, so per-stage readings show which stage first
+/// pushed the watermark). Returns 0 if the kernel refuses the query.
+inline size_t PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
 }
 
 inline void PrintTitle(const std::string& title) {

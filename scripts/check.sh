@@ -67,9 +67,13 @@ esac
 # path), the bit-parallel edit-distance fuzz suite, and the FaultSweep grid
 # (fault-injected serve loops must stay byte-identical at 1/2/8 threads),
 # plus the SIMD differential layer (scalar vs AVX2 kernels and the dispatch
-# invariance suite — dispatch resolution itself is a racy first-call CAS).
+# invariance suite — dispatch resolution itself is a racy first-call CAS),
+# and the sharding layer (Shard*: per-shard join/graph tasks run on the pool
+# and must merge byte-identically; Arena*: the aligned-allocation substrate
+# those tasks allocate through; bench_scale_smoke: the 10k end-to-end scale
+# run, whose sharded candidate/graph stages are the newest pool consumers).
 # ctest filters by gtest-discovered *test* names, not binary names.
-PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop|FeatureCache|EditDistanceFuzz|FaultSweep|SimdKernels|SimdDispatch'
+PARALLEL_TESTS='Parallel|ColoringFuzz|SelectionLoop|FeatureCache|EditDistanceFuzz|FaultSweep|SimdKernels|SimdDispatch|Shard|Arena|bench_scale_smoke'
 
 if [[ "$RUN_MAIN" == 1 ]]; then
   echo "== build (default flags) =="
@@ -81,9 +85,12 @@ fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== build (ThreadSanitizer) =="
+  # Benchmarks stay ON here (unlike the other sanitizer trees) so the
+  # bench_scale_smoke leg of the regex exists to run; the explicit ON
+  # overrides any stale OFF cached in an existing build-tsan tree.
   cmake -B build-tsan -S . \
     -DPOWER_SANITIZE=thread \
-    -DPOWER_BUILD_BENCHMARKS=OFF \
+    -DPOWER_BUILD_BENCHMARKS=ON \
     -DPOWER_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j >/dev/null
   echo "== ctest (parallel suite under TSan) =="

@@ -41,6 +41,15 @@ given roots):
                    byte-identity proof and silently miss the POWER_SIMD=off
                    escape hatch.
 
+  raw-arena        No raw aligned/page allocation calls (aligned_alloc,
+                   posix_memalign, memalign, valloc, mmap, munmap, madvise)
+                   in src/ outside util/arena.{h,cc}. Hot-path arrays (CSR
+                   adjacency, feature-cache arenas) allocate through
+                   util/arena.h so alignment, hugepage opt-in
+                   (POWER_HUGEPAGES), fallback, and ASan tail-poisoning stay
+                   in one audited place; a scattered mmap would dodge the
+                   fallback path and the allocation stats.
+
 Suppression: a line, or the line directly above it, containing
     power-lint: allow(<rule>)
 disables <rule> for that line. Each allow should carry a short justification
@@ -74,6 +83,10 @@ NAKED_THREAD = re.compile(
 WALL_CLOCK = re.compile(
     r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b")
 RAW_SIMD = re.compile(r"\b_mm(?:256|512)?_\w+")
+RAW_ARENA = re.compile(
+    r"(?<![\w:])(?:std::)?"
+    r"(?:aligned_alloc|posix_memalign|memalign|valloc|pvalloc"
+    r"|mmap|munmap|madvise)\s*\(")
 
 CONTINUATION_TYPE = re.compile(r"^\s*(?:const\s+)?std::unordered_")
 
@@ -162,6 +175,7 @@ def check_file(path, rel, findings):
                              rel.replace(os.sep, "/"))
     is_simd_kernel = re.search(r"(^|/)sim/simd_kernels[^/]*\.(h|cc)$",
                                rel.replace(os.sep, "/"))
+    is_arena = re.search(r"(^|/)util/arena\.(h|cc)$", rel.replace(os.sep, "/"))
 
     if in_src:
         names = unordered_names(lines)
@@ -206,6 +220,14 @@ def check_file(path, rel, findings):
                     "raw SIMD intrinsic — vector code lives in "
                     "src/sim/simd_kernels* behind the dispatched kernel "
                     "API (sim/simd_kernels.h) with a scalar reference"))
+        if in_src and not is_arena and RAW_ARENA.search(line):
+            if not allowed(lines, idx, "raw-arena"):
+                findings.append((
+                    rel, idx + 1, "raw-arena",
+                    "raw aligned/page allocation — hot-path arrays "
+                    "allocate through arena::Alloc/ArenaVector "
+                    "(util/arena.h) so alignment, hugepage opt-in, and "
+                    "fallback stay in one audited place"))
 
 
 def collect_files(repo, compile_commands, roots):

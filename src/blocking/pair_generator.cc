@@ -1,8 +1,13 @@
 #include "blocking/pair_generator.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <span>
+#include <utility>
 
 #include "blocking/prefix_join.h"
+#include "blocking/shard_planner.h"
 #include "sim/simd_kernels.h"
 #include "sim/similarity_matrix.h"
 #include "util/parallel.h"
@@ -54,15 +59,65 @@ std::vector<std::pair<int, int>> AllPairsCandidates(const Table& table,
   return AllPairsCandidates(features, tau);
 }
 
-std::vector<std::pair<int, int>> GenerateCandidates(
-    const FeatureCache& features, double tau, CandidateMethod method) {
+const char* CandidateMethodName(CandidateMethod method) {
   switch (method) {
     case CandidateMethod::kAllPairs:
-      return AllPairsCandidates(features, tau);
+      return "AllPairs";
     case CandidateMethod::kPrefixJoin:
-      return PrefixFilterJoin(features, tau);
+      return "PrefixJoin";
+    case CandidateMethod::kAuto:
+      return "Auto";
   }
-  return {};
+  return "?";
+}
+
+namespace {
+
+bool VerboseLogging() {
+  const char* env = std::getenv("POWER_VERBOSE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> GenerateCandidates(
+    const FeatureCache& features, double tau, CandidateMethod method,
+    const CandidateOptions& options, CandidateStats* stats) {
+  CandidateMethod resolved = method;
+  if (resolved == CandidateMethod::kAuto) {
+    resolved = features.num_records() > options.all_pairs_cutoff
+                   ? CandidateMethod::kPrefixJoin
+                   : CandidateMethod::kAllPairs;
+  }
+  CandidateStats local;
+  local.resolved = resolved;
+  std::vector<std::pair<int, int>> out;
+  if (resolved == CandidateMethod::kAllPairs) {
+    out = AllPairsCandidates(features, tau);
+  } else if (options.num_shards > 1) {
+    ShardedCandidates sharded =
+        ShardedPrefixJoin(features, tau, options.num_shards);
+    local.num_shards = options.num_shards;
+    local.boundary_pairs = sharded.boundary.size();
+    out = std::move(sharded.merged);
+  } else {
+    out = PrefixFilterJoin(features, tau);
+  }
+  if (VerboseLogging()) {
+    std::fprintf(stderr,
+                 "power: candidates: method=%s resolved=%s records=%zu "
+                 "shards=%d pairs=%zu boundary=%zu\n",
+                 CandidateMethodName(method), CandidateMethodName(resolved),
+                 features.num_records(), local.num_shards, out.size(),
+                 local.boundary_pairs);
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<std::pair<int, int>> GenerateCandidates(
+    const FeatureCache& features, double tau, CandidateMethod method) {
+  return GenerateCandidates(features, tau, method, CandidateOptions{});
 }
 
 std::vector<std::pair<int, int>> GenerateCandidates(const Table& table,

@@ -10,9 +10,11 @@
 
 namespace power {
 
-std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
-                                                  double tau) {
+PrefixJoinWorkspace BuildPrefixJoinWorkspace(const FeatureCache& features,
+                                             double tau) {
   POWER_CHECK(tau > 0.0 && tau <= 1.0);
+  PrefixJoinWorkspace ws;
+  ws.tau = tau;
   const int n = static_cast<int>(features.num_records());
 
   // 1. Document frequency per interned token over the record-level spans.
@@ -43,46 +45,60 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
   for (size_t r = 0; r < used.size(); ++r) {
     rank[static_cast<size_t>(used[r])] = static_cast<int32_t>(r);
   }
-  std::vector<std::vector<int32_t>> tokens(n);
+  ws.num_ranks = used.size();
+  ws.tokens.resize(static_cast<size_t>(n));
+  ws.prefix_len.resize(static_cast<size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     auto span = features.RecordTokenIds(static_cast<size_t>(i));
-    tokens[i].reserve(span.size());
-    for (int32_t id : span) tokens[i].push_back(rank[static_cast<size_t>(id)]);
-    std::sort(tokens[i].begin(), tokens[i].end());
+    auto& t = ws.tokens[static_cast<size_t>(i)];
+    t.reserve(span.size());
+    for (int32_t id : span) t.push_back(rank[static_cast<size_t>(id)]);
+    std::sort(t.begin(), t.end());
+    if (!t.empty()) {
+      const size_t len = t.size();
+      size_t prefix = len - static_cast<size_t>(std::ceil(tau * len)) + 1;
+      ws.prefix_len[static_cast<size_t>(i)] = std::min(prefix, len);
+    }
   }
 
-  // 3. Process records in increasing token-count order so the index only
-  //    holds records no longer than the probe (one-sided length filter).
-  std::vector<int> order(n);
-  for (int i = 0; i < n; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    if (tokens[a].size() != tokens[b].size()) {
-      return tokens[a].size() < tokens[b].size();
-    }
+  // 3. Processing order: increasing token count so the index only ever holds
+  //    records no longer than the probe (one-sided length filter).
+  ws.order.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ws.order[static_cast<size_t>(i)] = i;
+  std::sort(ws.order.begin(), ws.order.end(), [&](int a, int b) {
+    const auto& ta = ws.tokens[static_cast<size_t>(a)];
+    const auto& tb = ws.tokens[static_cast<size_t>(b)];
+    if (ta.size() != tb.size()) return ta.size() < tb.size();
     return a < b;
   });
+  return ws;
+}
 
-  // Inverted index: token rank -> records whose *prefix* contains it.
+void JoinOrderedSubset(const PrefixJoinWorkspace& workspace,
+                       std::span<const int> subset,
+                       std::vector<std::pair<int, int>>* out) {
+  const double tau = workspace.tau;
+  // Inverted index: token rank -> subset records whose *prefix* contains it.
   std::unordered_map<int32_t, std::vector<int>> index;
-  std::vector<std::pair<int, int>> result;
-  std::vector<int> last_seen(n, -1);  // probe-stamped candidate dedup
+  // Probe-stamped candidate dedup, keyed by subset step.
+  std::vector<int> last_seen(workspace.tokens.size(), -1);
 
-  for (int step = 0; step < n; ++step) {
-    int x = order[step];
-    const auto& tx = tokens[x];
+  for (int step = 0; step < static_cast<int>(subset.size()); ++step) {
+    const int x = subset[static_cast<size_t>(step)];
+    const auto& tx = workspace.tokens[static_cast<size_t>(x)];
     if (tx.empty()) continue;
-    size_t len_x = tx.size();
-    size_t prefix_x = len_x - static_cast<size_t>(std::ceil(tau * len_x)) + 1;
-    prefix_x = std::min(prefix_x, len_x);
+    const size_t len_x = tx.size();
+    const size_t prefix_x = workspace.prefix_len[static_cast<size_t>(x)];
 
     // Probe.
     for (size_t p = 0; p < prefix_x; ++p) {
       auto it = index.find(tx[p]);
       if (it == index.end()) continue;
       for (int y : it->second) {
-        if (last_seen[y] == step) continue;  // already a candidate this probe
-        last_seen[y] = step;
-        size_t len_y = tokens[y].size();
+        if (last_seen[static_cast<size_t>(y)] == step) continue;
+        last_seen[static_cast<size_t>(y)] = step;
+        const auto& ty = workspace.tokens[static_cast<size_t>(y)];
+        const size_t len_y = ty.size();
         // Length filter: the best case shares all of the shorter record, so
         // Jaccard can only reach tau if min/max does. Phrased through the
         // shared predicate — the exact arithmetic of the verification below
@@ -96,10 +112,10 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
         // predicate (and same dispatched intersection kernel) as
         // AllPairsCandidates — not a cross-multiplied epsilon rewrite that
         // could disagree with it on the tau boundary.
-        size_t inter = SortedIntersectionSize(
-            std::span<const int32_t>(tx), std::span<const int32_t>(tokens[y]));
+        size_t inter = SortedIntersectionSize(std::span<const int32_t>(tx),
+                                              std::span<const int32_t>(ty));
         if (RecordJaccardAtLeast(inter, len_x, len_y, tau)) {
-          result.emplace_back(std::min(x, y), std::max(x, y));
+          out->emplace_back(std::min(x, y), std::max(x, y));
         }
       }
     }
@@ -108,23 +124,30 @@ std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
       index[tx[p]].push_back(x);
     }
   }
+}
 
-  // Token-less records (all-empty / all-whitespace values) never enter the
-  // index, but the record-level prune defines Jaccard(∅, ∅) = 1, so the
-  // all-pairs scan keeps every pair of them. Emit those pairs here too —
-  // the join must return exactly the scan's pair set.
-  if (RecordJaccardAtLeast(0, 0, 0, tau)) {
-    std::vector<int> empty_records;
-    for (int i = 0; i < n; ++i) {
-      if (tokens[i].empty()) empty_records.push_back(i);
-    }
-    for (size_t a = 0; a < empty_records.size(); ++a) {
-      for (size_t b = a + 1; b < empty_records.size(); ++b) {
-        result.emplace_back(empty_records[a], empty_records[b]);
-      }
+void AppendEmptyRecordPairs(const PrefixJoinWorkspace& workspace,
+                            std::vector<std::pair<int, int>>* out) {
+  if (!RecordJaccardAtLeast(0, 0, 0, workspace.tau)) return;
+  std::vector<int> empty_records;
+  for (size_t i = 0; i < workspace.tokens.size(); ++i) {
+    if (workspace.tokens[i].empty()) {
+      empty_records.push_back(static_cast<int>(i));
     }
   }
+  for (size_t a = 0; a < empty_records.size(); ++a) {
+    for (size_t b = a + 1; b < empty_records.size(); ++b) {
+      out->emplace_back(empty_records[a], empty_records[b]);
+    }
+  }
+}
 
+std::vector<std::pair<int, int>> PrefixFilterJoin(const FeatureCache& features,
+                                                  double tau) {
+  PrefixJoinWorkspace ws = BuildPrefixJoinWorkspace(features, tau);
+  std::vector<std::pair<int, int>> result;
+  JoinOrderedSubset(ws, ws.order, &result);
+  AppendEmptyRecordPairs(ws, &result);
   std::sort(result.begin(), result.end());
   return result;
 }

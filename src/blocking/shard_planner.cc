@@ -1,0 +1,172 @@
+#include "blocking/shard_planner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <span>
+
+#include "sim/tokenizer.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace power {
+namespace {
+
+// Posting-list chunks per boundary-scan task. Lists vary wildly in length
+// (rare ranks have short lists), so chunks are small and claimed dynamically.
+constexpr int64_t kBoundaryGrain = 64;
+
+}  // namespace
+
+int ResolveNumShards(int config_shards) {
+  if (config_shards > 0) return config_shards;
+  const char* env = std::getenv("POWER_SHARDS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0 &&
+        v <= std::numeric_limits<int>::max()) {
+      return static_cast<int>(v);
+    }
+  }
+  return 1;
+}
+
+ShardPlan PlanShards(const PrefixJoinWorkspace& workspace, int num_shards) {
+  POWER_CHECK(num_shards >= 1);
+  const int n = static_cast<int>(workspace.tokens.size());
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.shard_of.assign(static_cast<size_t>(n), 0);
+  plan.shard_records.resize(static_cast<size_t>(num_shards));
+
+  // Join key: the record's rarest prefix token (rank-space tokens ascend, so
+  // that is tokens[i][0]). Token-less records key past every real rank.
+  // Sorting by (key, id) clusters records that agree on their most selective
+  // token, so a balanced contiguous cut keeps most joinable pairs intra-shard.
+  std::vector<int> by_key(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) by_key[static_cast<size_t>(i)] = i;
+  auto key_of = [&](int i) -> int32_t {
+    const auto& t = workspace.tokens[static_cast<size_t>(i)];
+    return t.empty() ? std::numeric_limits<int32_t>::max() : t[0];
+  };
+  std::sort(by_key.begin(), by_key.end(), [&](int a, int b) {
+    const int32_t ka = key_of(a);
+    const int32_t kb = key_of(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  // Balanced contiguous cut: shard s takes records [s*n/S, (s+1)*n/S) of the
+  // key order — sizes differ by at most one, boundaries depend only on
+  // (n, num_shards).
+  for (int s = 0; s < num_shards; ++s) {
+    const int64_t lo = static_cast<int64_t>(n) * s / num_shards;
+    const int64_t hi = static_cast<int64_t>(n) * (s + 1) / num_shards;
+    for (int64_t k = lo; k < hi; ++k) {
+      plan.shard_of[static_cast<size_t>(by_key[static_cast<size_t>(k)])] = s;
+    }
+  }
+
+  // Re-emit each shard's records as a subsequence of the global processing
+  // order — the shape JoinOrderedSubset requires for its length filter.
+  for (int rec : workspace.order) {
+    plan.shard_records[static_cast<size_t>(plan.shard_of[static_cast<size_t>(
+                           rec)])]
+        .push_back(rec);
+  }
+  return plan;
+}
+
+ShardedCandidates ShardedPrefixJoin(const FeatureCache& features, double tau,
+                                    int num_shards) {
+  POWER_CHECK(num_shards >= 1);
+  const PrefixJoinWorkspace ws = BuildPrefixJoinWorkspace(features, tau);
+  const ShardPlan plan = PlanShards(ws, num_shards);
+
+  ShardedCandidates out;
+  out.per_shard.resize(static_cast<size_t>(num_shards));
+
+  // Intra-shard joins: the exact monolithic machinery restricted to each
+  // shard's records, one pool task per shard. Nested ParallelFor calls run
+  // inline, so JoinOrderedSubset is safe inside the tasks.
+  ParallelFor(0, num_shards, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) {
+      JoinOrderedSubset(ws, plan.shard_records[static_cast<size_t>(s)],
+                        &out.per_shard[static_cast<size_t>(s)]);
+    }
+  });
+
+  // Boundary pass: per-rank prefix posting lists in processing order, then
+  // every cross-shard co-occurrence is length-filtered and verified with the
+  // same predicates the intra-shard join uses. Per-chunk buffers concatenate
+  // in chunk order; the final sort + unique (a cross-shard pair co-occurs
+  // under every shared prefix token) makes the set canonical either way.
+  if (num_shards > 1) {
+    std::vector<std::vector<int>> postings(ws.num_ranks);
+    for (int rec : ws.order) {
+      const auto& t = ws.tokens[static_cast<size_t>(rec)];
+      const size_t prefix = ws.prefix_len[static_cast<size_t>(rec)];
+      for (size_t p = 0; p < prefix; ++p) {
+        postings[static_cast<size_t>(t[p])].push_back(rec);
+      }
+    }
+    const size_t num_chunks =
+        NumChunks(0, static_cast<int64_t>(ws.num_ranks), kBoundaryGrain);
+    std::vector<std::vector<std::pair<int, int>>> chunk_pairs(num_chunks);
+    ParallelForChunked(
+        0, static_cast<int64_t>(ws.num_ranks), kBoundaryGrain,
+        [&](size_t chunk, int64_t begin, int64_t end) {
+          auto& local = chunk_pairs[chunk];
+          for (int64_t r = begin; r < end; ++r) {
+            const auto& list = postings[static_cast<size_t>(r)];
+            for (size_t a = 0; a < list.size(); ++a) {
+              const int x = list[a];
+              const auto& tx = ws.tokens[static_cast<size_t>(x)];
+              for (size_t b = a + 1; b < list.size(); ++b) {
+                const int y = list[b];
+                if (plan.shard_of[static_cast<size_t>(x)] ==
+                    plan.shard_of[static_cast<size_t>(y)]) {
+                  continue;
+                }
+                const auto& ty = ws.tokens[static_cast<size_t>(y)];
+                if (!RecordJaccardAtLeast(std::min(tx.size(), ty.size()),
+                                          tx.size(), ty.size(), tau)) {
+                  continue;
+                }
+                size_t inter =
+                    SortedIntersectionSize(std::span<const int32_t>(tx),
+                                           std::span<const int32_t>(ty));
+                if (RecordJaccardAtLeast(inter, tx.size(), ty.size(), tau)) {
+                  local.emplace_back(std::min(x, y), std::max(x, y));
+                }
+              }
+            }
+          }
+        });
+    for (auto& chunk : chunk_pairs) {
+      out.boundary.insert(out.boundary.end(), chunk.begin(), chunk.end());
+    }
+    std::sort(out.boundary.begin(), out.boundary.end());
+    out.boundary.erase(std::unique(out.boundary.begin(), out.boundary.end()),
+                       out.boundary.end());
+  }
+
+  // Merge: intra-shard sets are pairwise disjoint and disjoint from the
+  // boundary set, so concat + the shared token-less fixup + one sort equals
+  // the monolithic PrefixFilterJoin output exactly.
+  size_t total = out.boundary.size();
+  for (const auto& shard : out.per_shard) total += shard.size();
+  out.merged.reserve(total);
+  for (const auto& shard : out.per_shard) {
+    out.merged.insert(out.merged.end(), shard.begin(), shard.end());
+  }
+  out.merged.insert(out.merged.end(), out.boundary.begin(),
+                    out.boundary.end());
+  AppendEmptyRecordPairs(ws, &out.merged);
+  std::sort(out.merged.begin(), out.merged.end());
+  return out;
+}
+
+}  // namespace power

@@ -1,0 +1,69 @@
+#ifndef POWER_BLOCKING_SHARD_PLANNER_H_
+#define POWER_BLOCKING_SHARD_PLANNER_H_
+
+#include <utility>
+#include <vector>
+
+#include "blocking/prefix_join.h"
+#include "sim/feature_cache.h"
+
+namespace power {
+
+/// Sharded candidate generation: the scale-out path through the pruning
+/// stage. The record space is partitioned into `num_shards` balanced blocks
+/// keyed by each record's prefix-filter join key (its rarest prefix token),
+/// per-shard prefix joins run in parallel on the pool, and a boundary pass
+/// catches the cross-shard pairs. The merged pair set is *exactly* the
+/// monolithic PrefixFilterJoin set (tests/shard_invariance_test.cc proves
+/// vector equality), because
+///  - intra-shard joins run the identical JoinOrderedSubset machinery over
+///    the identical global workspace (ranks, prefixes, processing order),
+///    restricted to the shard's records — restriction changes neither any
+///    record's prefix nor the filters, so a shard pair is found iff the
+///    monolithic join finds it;
+///  - the monolithic join emits pair (x, y) iff the two prefixes share a
+///    token (the index holds prefix tokens only and probes with prefix
+///    tokens only) and exact verification passes; the boundary pass
+///    enumerates exactly the cross-shard co-occurrences in the per-token
+///    prefix posting lists and applies the same verification, so it finds
+///    exactly the cross-shard subset of the monolithic pairs;
+///  - token-less records (Jaccard(∅,∅) = 1) are appended by the shared
+///    AppendEmptyRecordPairs, as in the monolithic path.
+/// Union of the three parts, sorted and deduplicated (a cross-shard pair can
+/// co-occur under several tokens), is therefore the monolithic set.
+
+/// Resolves the effective shard count: `config_shards` > 0 wins; 0 defers to
+/// the POWER_SHARDS environment variable; unset/invalid means 1 (the exact
+/// monolithic path). Mirrors the num_threads / POWER_THREADS convention.
+int ResolveNumShards(int config_shards);
+
+/// The record partition. Shards are balanced by record count (sizes differ
+/// by at most one) over records ordered by join key, so records sharing a
+/// rare prefix token cluster into the same shard and the boundary set stays
+/// small. Deterministic in (features, tau, num_shards).
+struct ShardPlan {
+  int num_shards = 1;
+  /// record -> shard index in [0, num_shards).
+  std::vector<int> shard_of;
+  /// Per shard: its records as a subsequence of the workspace processing
+  /// order (the shape JoinOrderedSubset requires).
+  std::vector<std::vector<int>> shard_records;
+};
+
+ShardPlan PlanShards(const PrefixJoinWorkspace& workspace, int num_shards);
+
+/// Output of the sharded generation: the per-shard candidate sets, the
+/// cross-shard boundary set, and their merged union (sorted, deduplicated —
+/// byte-identical to PrefixFilterJoin(features, tau)).
+struct ShardedCandidates {
+  std::vector<std::vector<std::pair<int, int>>> per_shard;
+  std::vector<std::pair<int, int>> boundary;
+  std::vector<std::pair<int, int>> merged;
+};
+
+ShardedCandidates ShardedPrefixJoin(const FeatureCache& features, double tau,
+                                    int num_shards);
+
+}  // namespace power
+
+#endif  // POWER_BLOCKING_SHARD_PLANNER_H_

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "blocking/shard_planner.h"
 #include "graph/builder.h"
 #include "group/greedy_grouper.h"
 #include "group/grouped_graph.h"
@@ -65,8 +66,13 @@ PowerResult PowerFramework::Run(const Table& table,
   // similarity vectors; its build cost is charged to the pruning stage.
   Stopwatch prune_watch;
   FeatureCache features(table);
-  std::vector<std::pair<int, int>> candidates = GenerateCandidates(
-      features, config_.prune_tau, config_.candidate_method);
+  CandidateOptions candidate_options;
+  candidate_options.all_pairs_cutoff = config_.all_pairs_cutoff;
+  candidate_options.num_shards = ResolveNumShards(config_.num_shards);
+  CandidateStats candidate_stats;
+  std::vector<std::pair<int, int>> candidates =
+      GenerateCandidates(features, config_.prune_tau, config_.candidate_method,
+                         candidate_options, &candidate_stats);
   double pruning_seconds = prune_watch.ElapsedSeconds();
   Stopwatch sim_watch;
   std::vector<SimilarPair> pairs =
@@ -75,6 +81,8 @@ PowerResult PowerFramework::Run(const Table& table,
   PowerResult result = RunOnPairs(pairs, oracle);
   result.pruning_seconds = pruning_seconds;
   result.similarity_seconds = similarity_seconds;
+  result.candidate_method = CandidateMethodName(candidate_stats.resolved);
+  result.boundary_pairs = candidate_stats.boundary_pairs;
   return result;
 }
 
@@ -83,8 +91,10 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
   POWER_CHECK(oracle != nullptr);
   POWER_CHECK(config_.max_ask_attempts >= 1);
   ScopedNumThreads thread_scope(config_.num_threads);
+  const int num_shards = ResolveNumShards(config_.num_shards);
   PowerResult result;
   result.num_threads = NumThreads();
+  result.num_shards = num_shards;
   result.num_pairs = pairs.size();
   if (pairs.empty()) return result;
 
@@ -104,7 +114,7 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
     // The graph takes ownership of the one local copy; the pair sims are
     // read back through grouped.graph.all_sims() below.
     grouped = BuildUngrouped(*MakeBuilder(config_.builder, rng.Fork()),
-                             std::move(sims));
+                             std::move(sims), num_shards);
     result.graph_seconds = graph_watch.ElapsedSeconds();
   } else {
     std::unique_ptr<Grouper> grouper;
@@ -116,7 +126,7 @@ PowerResult PowerFramework::RunOnPairs(const std::vector<SimilarPair>& pairs,
     std::vector<VertexGroup> groups = grouper->Group(sims, config_.epsilon);
     result.grouping_seconds = grouping_watch.ElapsedSeconds();
     Stopwatch graph_watch;
-    grouped = BuildGroupedGraph(std::move(groups));
+    grouped = BuildGroupedGraph(std::move(groups), num_shards);
     result.graph_seconds = graph_watch.ElapsedSeconds();
   }
   result.num_groups = grouped.groups.size();

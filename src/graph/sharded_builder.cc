@@ -1,0 +1,104 @@
+#include "graph/sharded_builder.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "order/partial_order.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace power {
+namespace {
+
+// Rows per chunk in the cross-shard stitch scan (matches the brute-force
+// builder's grain).
+constexpr int64_t kRowGrain = 16;
+
+}  // namespace
+
+PairGraph BuildShardedGraph(const GraphBuilder& builder,
+                            std::vector<std::vector<double>> sims,
+                            int num_shards) {
+  if (num_shards <= 1) return builder.Build(std::move(sims));
+  const int n = static_cast<int>(sims.size());
+
+  // Contiguous balanced partition: shard s owns global vertices
+  // [s*n/S, (s+1)*n/S). Boundaries depend only on (n, num_shards).
+  std::vector<int> shard_begin(static_cast<size_t>(num_shards) + 1);
+  for (int s = 0; s <= num_shards; ++s) {
+    shard_begin[static_cast<size_t>(s)] =
+        static_cast<int>(static_cast<int64_t>(n) * s / num_shards);
+  }
+  std::vector<int> shard_of(static_cast<size_t>(n));
+  for (int s = 0; s < num_shards; ++s) {
+    for (int v = shard_begin[static_cast<size_t>(s)];
+         v < shard_begin[static_cast<size_t>(s) + 1]; ++v) {
+      shard_of[static_cast<size_t>(v)] = s;
+    }
+  }
+
+  // Per-shard closures, one pool task each. Each task builds the shard's
+  // graph in shard-local vertex space and re-emits its frozen edges shifted
+  // to global ids into the shard's chunk buffer.
+  std::vector<std::vector<std::pair<int, int>>> shard_edges(
+      static_cast<size_t>(num_shards));
+  ParallelFor(0, num_shards, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) {
+      const int lo = shard_begin[static_cast<size_t>(s)];
+      const int hi = shard_begin[static_cast<size_t>(s) + 1];
+      std::vector<std::vector<double>> local(
+          sims.begin() + lo, sims.begin() + hi);
+      PairGraph piece = builder.Build(std::move(local));
+      auto& buf = shard_edges[static_cast<size_t>(s)];
+      buf.reserve(piece.num_edges());
+      for (int v = 0; v < hi - lo; ++v) {
+        for (int c : piece.children(v)) {
+          buf.emplace_back(lo + v, lo + c);
+        }
+      }
+    }
+  });
+
+  // Cross-shard stitch: row-sharded scan emitting every dominance pair whose
+  // endpoints live in different shards — exactly the monolithic edges the
+  // shard closures cannot see. CompareDominance resolves both directions in
+  // one pass, so each unordered cross pair is visited once (a < b).
+  const size_t num_chunks = NumChunks(0, n, kRowGrain);
+  std::vector<std::vector<std::pair<int, int>>> cross_edges(num_chunks);
+  ParallelForChunked(
+      0, n, kRowGrain, [&](size_t chunk, int64_t begin, int64_t end) {
+        auto& buf = cross_edges[chunk];
+        for (int a = static_cast<int>(begin); a < static_cast<int>(end);
+             ++a) {
+          // b starts at the next shard boundary: everything before it in row
+          // a's tail is intra-shard, already covered by the shard closure.
+          const int next = shard_begin[static_cast<size_t>(
+              shard_of[static_cast<size_t>(a)]) + 1];
+          for (int b = next; b < n; ++b) {
+            switch (CompareDominance(sims[static_cast<size_t>(a)],
+                                     sims[static_cast<size_t>(b)])) {
+              case DomOrder::kDominates:
+                buf.emplace_back(a, b);
+                break;
+              case DomOrder::kDominatedBy:
+                buf.emplace_back(b, a);
+                break;
+              case DomOrder::kEqual:
+              case DomOrder::kIncomparable:
+                break;
+            }
+          }
+        }
+      });
+
+  // Deterministic merge: shard buffers then cross buffers, both in index
+  // order; DedupEdges() canonicalizes the CSR regardless.
+  PairGraph graph(std::move(sims));
+  graph.AddEdgeChunks(std::move(shard_edges));
+  graph.AddEdgeChunks(std::move(cross_edges));
+  graph.DedupEdges();
+  POWER_CHECK(graph.frozen());
+  return graph;
+}
+
+}  // namespace power

@@ -1,0 +1,35 @@
+#ifndef POWER_GRAPH_SHARDED_BUILDER_H_
+#define POWER_GRAPH_SHARDED_BUILDER_H_
+
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/pair_graph.h"
+
+namespace power {
+
+/// Sharded dominance-graph construction: partitions the vertex range into
+/// `num_shards` contiguous balanced shards, builds each shard's dominance
+/// closure with `builder` (one pool task per shard; the builders' own
+/// parallel loops nest inline), then stitches the cross-shard dominance
+/// edges with a row-sharded scan and freezes everything into one CSR graph.
+///
+/// The frozen result is byte-identical to builder.Build(sims) at any shard
+/// and thread count (tests/shard_invariance_test.cc), because
+///  - every builder emits the *full* strict-dominance relation, so the union
+///    of the shard closures (dominance restricted to each shard) and the
+///    cross-shard dominance pairs is exactly the monolithic edge set, and
+///  - PairGraph::DedupEdges() canonicalizes: any pending list with an equal
+///    edge set freezes to the same sorted CSR arrays.
+///
+/// num_shards <= 1 delegates to builder.Build directly. The win at scale is
+/// parallel shard builds with shard-local working sets (the quadratic
+/// builders touch O((n/S)^2) per task) plus one arena-backed freeze at the
+/// end instead of per-piece graphs.
+PairGraph BuildShardedGraph(const GraphBuilder& builder,
+                            std::vector<std::vector<double>> sims,
+                            int num_shards);
+
+}  // namespace power
+
+#endif  // POWER_GRAPH_SHARDED_BUILDER_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/table.h"
+#include "util/arena.h"
 
 namespace power {
 
@@ -95,20 +96,23 @@ class FeatureCache {
   size_t n_ = 0;
   size_t m_ = 0;
 
-  // Lower-cased bytes of all cells, concatenated; n*m+1 offsets.
+  // Lower-cased bytes of all cells, concatenated; n*m+1 offsets. The byte
+  // arena stays std::string (string_view substr interface); every id/offset
+  // arena below is cache-line-aligned and hugepage-eligible via util/arena.h
+  // — at 100k-record scale these arrays dominate the cache's footprint.
   std::string lower_bytes_;
-  std::vector<uint64_t> lower_off_;
+  ArenaVector<uint64_t> lower_off_;
   // Sorted-unique token-id runs per cell (n*m+1 offsets each).
-  std::vector<int32_t> word_ids_;
-  std::vector<uint64_t> word_off_;
-  std::vector<int32_t> gram_ids_;
-  std::vector<uint64_t> gram_off_;
+  ArenaVector<int32_t> word_ids_;
+  ArenaVector<uint64_t> word_off_;
+  ArenaVector<int32_t> gram_ids_;
+  ArenaVector<uint64_t> gram_off_;
   // Sorted-unique record-level word-token ids (n+1 offsets).
-  std::vector<int32_t> rec_ids_;
-  std::vector<uint64_t> rec_off_;
+  ArenaVector<int32_t> rec_ids_;
+  ArenaVector<uint64_t> rec_off_;
   // Pre-parsed numerics, one slot per cell.
-  std::vector<double> numeric_val_;
-  std::vector<uint8_t> numeric_ok_;
+  ArenaVector<double> numeric_val_;
+  ArenaVector<uint8_t> numeric_ok_;
   // Token id -> (offset, length) into lower_bytes_.
   std::vector<std::pair<uint64_t, uint32_t>> dict_ref_;
 };

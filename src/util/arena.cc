@@ -1,0 +1,166 @@
+#include "util/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define POWER_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define POWER_ARENA_ASAN 1
+#endif
+
+#ifdef POWER_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace power {
+namespace arena {
+namespace {
+
+// One huge page (the x86-64 THP size). mmap lengths are rounded up to this.
+constexpr size_t kHugePage = 2u << 20;
+
+// Private per-block header, stored in the kCacheLine bytes just below the
+// pointer handed out. Both allocation paths place it the same way, so Free
+// recovers the release recipe without any global registry.
+struct BlockHeader {
+  uint64_t magic;   // kMagic, sanity-checked in Free
+  uint64_t kind;    // kKindMalloc or kKindMmap
+  uint64_t length;  // full block length including this header
+};
+static_assert(sizeof(BlockHeader) <= kCacheLine);
+
+constexpr uint64_t kMagic = 0x504f574552415245ull;  // "POWERARE"
+constexpr uint64_t kKindMalloc = 1;
+constexpr uint64_t kKindMmap = 2;
+
+std::atomic<size_t> g_total_allocs{0};
+std::atomic<size_t> g_mmap_allocs{0};
+std::atomic<size_t> g_fallback_allocs{0};
+std::atomic<bool> g_force_mmap_failure{false};
+
+size_t RoundUp(size_t v, size_t to) { return (v + to - 1) / to * to; }
+
+void PoisonTail(char* user, size_t bytes, size_t usable) {
+#ifdef POWER_ARENA_ASAN
+  if (usable > bytes) {
+    __asan_poison_memory_region(user + bytes, usable - bytes);
+  }
+#else
+  (void)user;
+  (void)bytes;
+  (void)usable;
+#endif
+}
+
+void UnpoisonBlock(char* base, size_t length) {
+#ifdef POWER_ARENA_ASAN
+  __asan_unpoison_memory_region(base, length);
+#else
+  (void)base;
+  (void)length;
+#endif
+}
+
+// Attempts the hugepage mmap path; nullptr means "use the fallback".
+char* TryMmapBlock(size_t length) {
+#ifdef __linux__
+  if (g_force_mmap_failure.load(std::memory_order_relaxed)) return nullptr;
+  void* base = mmap(nullptr, length, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) return nullptr;
+#ifdef MADV_HUGEPAGE
+  // Advisory only: THP may be disabled system-wide. The region is fully
+  // usable either way, so the return value is deliberately ignored.
+  (void)madvise(base, length, MADV_HUGEPAGE);
+#endif
+  return static_cast<char*>(base);
+#else
+  (void)length;
+  return nullptr;
+#endif
+}
+
+}  // namespace
+
+bool HugepagesEnabled() {
+  const char* env = std::getenv("POWER_HUGEPAGES");
+  if (env == nullptr || env[0] == '\0') return false;
+  return !(env[0] == '0' || std::strcmp(env, "off") == 0);
+}
+
+void* Alloc(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const bool want_huge = bytes >= kHugeThreshold && HugepagesEnabled();
+
+  char* base = nullptr;
+  uint64_t kind = kKindMalloc;
+  size_t length = 0;
+  if (want_huge) {
+    length = RoundUp(bytes + kCacheLine, kHugePage);
+    base = TryMmapBlock(length);
+    if (base != nullptr) {
+      kind = kKindMmap;
+      g_mmap_allocs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      g_fallback_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (base == nullptr) {
+    length = RoundUp(bytes + kCacheLine, kCacheLine);
+    base = static_cast<char*>(std::aligned_alloc(kCacheLine, length));
+    if (base == nullptr) throw std::bad_alloc();
+  }
+
+  auto* header = reinterpret_cast<BlockHeader*>(base);
+  header->magic = kMagic;
+  header->kind = kind;
+  header->length = length;
+  char* user = base + kCacheLine;
+  PoisonTail(user, bytes, length - kCacheLine);
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  return user;
+}
+
+void Free(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  char* base = static_cast<char*>(ptr) - kCacheLine;
+  auto* header = reinterpret_cast<BlockHeader*>(base);
+  if (header->magic != kMagic) std::abort();  // not an arena pointer
+  header->magic = 0;                          // poor man's double-free trip
+  const size_t length = header->length;
+  const uint64_t kind = header->kind;
+  // The tail of the block may still be poisoned; lift it before the
+  // underlying release (free/munmap do not expect poison).
+  UnpoisonBlock(base, length);
+  if (kind == kKindMmap) {
+#ifdef __linux__
+    munmap(base, length);
+#endif
+  } else {
+    std::free(base);
+  }
+}
+
+AllocStats Stats() {
+  AllocStats s;
+  s.total_allocs = g_total_allocs.load(std::memory_order_relaxed);
+  s.mmap_allocs = g_mmap_allocs.load(std::memory_order_relaxed);
+  s.fallback_allocs = g_fallback_allocs.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ForceMmapFailureForTest(bool fail) {
+  g_force_mmap_failure.store(fail, std::memory_order_relaxed);
+}
+
+}  // namespace arena
+}  // namespace power

@@ -1,0 +1,188 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define POWER_ARENA_TEST_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define POWER_ARENA_TEST_ASAN 1
+#endif
+
+#ifdef POWER_ARENA_TEST_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace power {
+namespace {
+
+// Saves/restores an environment variable around a test body.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+bool IsCacheLineAligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % arena::kCacheLine == 0;
+}
+
+TEST(ArenaAllocTest, ReturnsCacheLineAlignedWritableMemory) {
+  for (size_t bytes : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                       size_t{4096}, size_t{1u << 20}}) {
+    void* p = arena::Alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(IsCacheLineAligned(p)) << "bytes=" << bytes;
+    // The whole requested span must be writable (and, under ASan, only the
+    // requested span — see the poisoning test below).
+    std::memset(p, 0xab, bytes);
+    arena::Free(p);
+  }
+}
+
+TEST(ArenaAllocTest, ZeroByteRequestStillYieldsDistinctBlock) {
+  void* a = arena::Alloc(0);
+  void* b = arena::Alloc(0);
+  EXPECT_NE(a, b);
+  arena::Free(a);
+  arena::Free(b);
+}
+
+TEST(ArenaAllocTest, FreeNullIsNoop) { arena::Free(nullptr); }
+
+TEST(ArenaAllocTest, StatsCountAllocations) {
+  const arena::AllocStats before = arena::Stats();
+  void* p = arena::Alloc(128);
+  arena::Free(p);
+  const arena::AllocStats after = arena::Stats();
+  EXPECT_EQ(after.total_allocs, before.total_allocs + 1);
+}
+
+TEST(ArenaVectorTest, BehavesLikeVectorWithAlignedStorage) {
+  ArenaVector<int> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 10000u);
+  EXPECT_TRUE(IsCacheLineAligned(v.data()));
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(v[static_cast<size_t>(i)], i);
+  }
+  ArenaVector<int> copy = v;
+  EXPECT_EQ(copy, v);
+  v.assign(17, -1);
+  EXPECT_EQ(v.size(), 17u);
+  EXPECT_TRUE(IsCacheLineAligned(v.data()));
+}
+
+TEST(ArenaHugepageTest, EnvParsing) {
+  {
+    ScopedEnv env("POWER_HUGEPAGES", nullptr);
+    EXPECT_FALSE(arena::HugepagesEnabled());
+  }
+  {
+    ScopedEnv env("POWER_HUGEPAGES", "");
+    EXPECT_FALSE(arena::HugepagesEnabled());
+  }
+  {
+    ScopedEnv env("POWER_HUGEPAGES", "0");
+    EXPECT_FALSE(arena::HugepagesEnabled());
+  }
+  {
+    ScopedEnv env("POWER_HUGEPAGES", "off");
+    EXPECT_FALSE(arena::HugepagesEnabled());
+  }
+  {
+    ScopedEnv env("POWER_HUGEPAGES", "1");
+    EXPECT_TRUE(arena::HugepagesEnabled());
+  }
+}
+
+TEST(ArenaHugepageTest, LargeBlocksUseMmapWhenEnabled) {
+#ifdef __linux__
+  ScopedEnv env("POWER_HUGEPAGES", "1");
+  const arena::AllocStats before = arena::Stats();
+  void* p = arena::Alloc(3u << 20);  // 3 MB: above the hugepage threshold
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(IsCacheLineAligned(p));
+  std::memset(p, 0x5a, 3u << 20);
+  arena::Free(p);
+  const arena::AllocStats after = arena::Stats();
+  EXPECT_EQ(after.mmap_allocs, before.mmap_allocs + 1);
+  EXPECT_EQ(after.fallback_allocs, before.fallback_allocs);
+#else
+  GTEST_SKIP() << "hugepage path is Linux-only";
+#endif
+}
+
+TEST(ArenaHugepageTest, SmallBlocksNeverUseMmap) {
+  ScopedEnv env("POWER_HUGEPAGES", "1");
+  const arena::AllocStats before = arena::Stats();
+  void* p = arena::Alloc(4096);  // far below the 2 MB threshold
+  arena::Free(p);
+  const arena::AllocStats after = arena::Stats();
+  EXPECT_EQ(after.mmap_allocs, before.mmap_allocs);
+}
+
+TEST(ArenaHugepageTest, MmapFailureFallsBackGracefully) {
+  ScopedEnv env("POWER_HUGEPAGES", "1");
+  arena::ForceMmapFailureForTest(true);
+  const arena::AllocStats before = arena::Stats();
+  void* p = arena::Alloc(3u << 20);
+  arena::ForceMmapFailureForTest(false);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(IsCacheLineAligned(p));
+  // The block is fully usable despite the failed hugepage attempt.
+  std::memset(p, 0x77, 3u << 20);
+  arena::Free(p);
+  const arena::AllocStats after = arena::Stats();
+  EXPECT_EQ(after.fallback_allocs, before.fallback_allocs + 1);
+#ifdef __linux__
+  EXPECT_EQ(after.mmap_allocs, before.mmap_allocs);
+#endif
+}
+
+TEST(ArenaAsanTest, TailBeyondRequestIsPoisoned) {
+#ifdef POWER_ARENA_TEST_ASAN
+  // 100 bytes rounds up to a 64-byte-aligned usable span; the slack past the
+  // requested 100 bytes must be poisoned so off-the-end reads trap under
+  // ASan instead of silently reading block padding.
+  constexpr size_t kBytes = 100;
+  char* p = static_cast<char*>(arena::Alloc(kBytes));
+  for (size_t i = 0; i < kBytes; ++i) {
+    ASSERT_FALSE(__asan_address_is_poisoned(p + i)) << "offset " << i;
+  }
+  EXPECT_TRUE(__asan_address_is_poisoned(p + kBytes));
+  arena::Free(p);
+#else
+  GTEST_SKIP() << "requires an ASan build";
+#endif
+}
+
+}  // namespace
+}  // namespace power

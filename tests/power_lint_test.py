@@ -52,6 +52,8 @@ void Bad() {
   (void)deadline;
   __m256i sum = _mm256_add_epi64(sum, sum);  // intrinsic outside simd_kernels
   (void)sum;
+  void* block = aligned_alloc(64, 4096);  // raw allocation outside util/arena
+  free(block);
 }
 """
 
@@ -86,6 +88,7 @@ def main():
         expect("naked-thread fires", "naked-thread" in out, out)
         expect("wall-clock fires", "wall-clock" in out, out)
         expect("raw-simd fires", "raw-simd" in out, out)
+        expect("raw-arena fires", "raw-arena" in out, out)
 
     # 3. allow() suppresses, and only the named rule.
     with tempfile.TemporaryDirectory() as tmp:
@@ -105,6 +108,21 @@ def main():
             f.write("__m256i V(__m256i a) { return _mm256_add_epi64(a, a); }\n")
         code, out = run_lint([os.path.join(tmp, "src")])
         expect("simd_kernels exempt from raw-simd", code == 0, out)
+
+    # 5. The sanctioned allocation home (src/util/arena.{h,cc}) is exempt
+    #    from raw-arena, and the rule is src/-scoped (bench/test utilities
+    #    such as getrusage wrappers may touch the raw primitives).
+    with tempfile.TemporaryDirectory() as tmp:
+        util = os.path.join(tmp, "src", "util")
+        os.makedirs(util)
+        with open(os.path.join(util, "arena.cc"), "w") as f:
+            f.write("void* A(size_t n) { return aligned_alloc(64, n); }\n")
+        bench = os.path.join(tmp, "bench")
+        os.makedirs(bench)
+        with open(os.path.join(bench, "probe.cc"), "w") as f:
+            f.write("void* P(size_t n) { return aligned_alloc(64, n); }\n")
+        code, out = run_lint([os.path.join(tmp, "src"), bench])
+        expect("util/arena exempt and raw-arena src-scoped", code == 0, out)
 
     if FAILURES:
         print(f"{len(FAILURES)} failure(s)", file=sys.stderr)

@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/pair_generator.h"
+#include "blocking/prefix_join.h"
+#include "blocking/shard_planner.h"
+#include "core/power.h"
+#include "crowd/answer_cache.h"
+#include "data/generator.h"
+#include "graph/builder.h"
+#include "graph/sharded_builder.h"
+#include "group/grouped_graph.h"
+#include "group/split_grouper.h"
+#include "sim/similarity_matrix.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+// Shard-count invariance: the sharded scale-out paths (sharded prefix join,
+// sharded dominance-graph build, sharded grouped graph, and the end-to-end
+// pipeline) must be *byte-identical* to their monolithic counterparts at
+// every shard count and every thread count. Sharding, like threading, is a
+// pure performance knob.
+
+namespace power {
+namespace {
+
+Table SmallTable(size_t records, size_t entities, uint64_t seed) {
+  DatasetProfile p = RestaurantProfile();
+  p.num_records = records;
+  p.num_entities = entities;
+  return DatasetGenerator(seed).Generate(p);
+}
+
+// ---------------------------------------------------------------------------
+// Candidate generation.
+// ---------------------------------------------------------------------------
+
+TEST(ShardCandidatesTest, MergedEqualsMonolithicAcrossShardCounts) {
+  Table t = SmallTable(240, 130, 91);
+  FeatureCache features(t);
+  for (double tau : {0.2, 0.3, 0.5}) {
+    const auto mono = PrefixFilterJoin(features, tau);
+    for (int shards : {1, 2, 3, 8, 16}) {
+      SCOPED_TRACE("tau=" + std::to_string(tau) +
+                   " shards=" + std::to_string(shards));
+      ShardedCandidates sharded = ShardedPrefixJoin(features, tau, shards);
+      EXPECT_EQ(sharded.merged, mono);
+      ASSERT_EQ(sharded.per_shard.size(), static_cast<size_t>(shards));
+      if (shards == 1) {
+        EXPECT_TRUE(sharded.boundary.empty());
+      }
+      // The parts partition the merged set (no pair is double-counted).
+      // Token-less records pair up only at merge time, so count them in.
+      size_t empty_records = 0;
+      for (size_t i = 0; i < features.num_records(); ++i) {
+        if (features.RecordTokenIds(i).empty()) ++empty_records;
+      }
+      size_t parts = sharded.boundary.size() +
+                     empty_records * (empty_records - 1) / 2;
+      for (const auto& s : sharded.per_shard) parts += s.size();
+      EXPECT_EQ(parts, sharded.merged.size());
+    }
+  }
+}
+
+TEST(ShardCandidatesTest, BoundaryPairsActuallyOccurAtHighShardCounts) {
+  // With many shards, some near-duplicate pair must straddle a shard cut —
+  // otherwise the test is vacuous and the boundary pass untested.
+  Table t = SmallTable(300, 60, 17);
+  FeatureCache features(t);
+  ShardedCandidates sharded = ShardedPrefixJoin(features, 0.3, 16);
+  EXPECT_GT(sharded.boundary.size(), 0u);
+  EXPECT_EQ(sharded.merged, PrefixFilterJoin(features, 0.3));
+}
+
+TEST(ShardCandidatesTest, ThreadCountInvariance) {
+  Table t = SmallTable(200, 110, 33);
+  FeatureCache features(t);
+  ShardedCandidates base;
+  {
+    ScopedNumThreads scope(1);
+    base = ShardedPrefixJoin(features, 0.3, 4);
+  }
+  for (int threads : {2, 8}) {
+    ScopedNumThreads scope(threads);
+    ShardedCandidates got = ShardedPrefixJoin(features, 0.3, 4);
+    EXPECT_EQ(got.merged, base.merged) << threads << " threads";
+    EXPECT_EQ(got.boundary, base.boundary) << threads << " threads";
+    EXPECT_EQ(got.per_shard, base.per_shard) << threads << " threads";
+  }
+}
+
+TEST(ShardCandidatesTest, GenerateCandidatesShardedMatchesEveryMethod) {
+  Table t = SmallTable(150, 80, 55);
+  FeatureCache features(t);
+  const double tau = 0.3;
+  auto all_pairs =
+      GenerateCandidates(features, tau, CandidateMethod::kAllPairs);
+  CandidateOptions options;
+  options.num_shards = 4;
+  CandidateStats stats;
+  auto sharded = GenerateCandidates(features, tau, CandidateMethod::kPrefixJoin,
+                                    options, &stats);
+  EXPECT_EQ(sharded, all_pairs);
+  EXPECT_EQ(stats.num_shards, 4);
+  EXPECT_EQ(stats.resolved, CandidateMethod::kPrefixJoin);
+}
+
+TEST(ShardCandidatesTest, AutoDispatchesByRecordCountAndCutoff) {
+  Table t = SmallTable(64, 40, 5);
+  FeatureCache features(t);
+  CandidateOptions options;
+  CandidateStats stats;
+
+  options.all_pairs_cutoff = 1000;  // 64 records <= cutoff -> quadratic scan
+  auto a = GenerateCandidates(features, 0.3, CandidateMethod::kAuto, options,
+                              &stats);
+  EXPECT_EQ(stats.resolved, CandidateMethod::kAllPairs);
+
+  options.all_pairs_cutoff = 10;  // 64 records > cutoff -> prefix join
+  auto b = GenerateCandidates(features, 0.3, CandidateMethod::kAuto, options,
+                              &stats);
+  EXPECT_EQ(stats.resolved, CandidateMethod::kPrefixJoin);
+
+  // The dispatch is invisible in the results.
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Shard planning.
+// ---------------------------------------------------------------------------
+
+TEST(ShardPlanTest, BalancedContiguousPartitionInProcessingOrder) {
+  Table t = SmallTable(157, 90, 3);
+  FeatureCache features(t);
+  PrefixJoinWorkspace ws = BuildPrefixJoinWorkspace(features, 0.3);
+  for (int shards : {1, 2, 7, 16}) {
+    SCOPED_TRACE(shards);
+    ShardPlan plan = PlanShards(ws, shards);
+    ASSERT_EQ(plan.shard_records.size(), static_cast<size_t>(shards));
+    // Balanced: shard sizes differ by at most one; total covers everything.
+    size_t total = 0, lo = ws.tokens.size(), hi = 0;
+    for (const auto& recs : plan.shard_records) {
+      total += recs.size();
+      lo = std::min(lo, recs.size());
+      hi = std::max(hi, recs.size());
+    }
+    EXPECT_EQ(total, ws.tokens.size());
+    EXPECT_LE(hi - lo, 1u);
+    // shard_of agrees with the member lists, and each list is a subsequence
+    // of the global processing order.
+    std::vector<int> pos(ws.tokens.size());
+    for (size_t k = 0; k < ws.order.size(); ++k) {
+      pos[static_cast<size_t>(ws.order[k])] = static_cast<int>(k);
+    }
+    for (int s = 0; s < shards; ++s) {
+      int prev = -1;
+      for (int rec : plan.shard_records[static_cast<size_t>(s)]) {
+        EXPECT_EQ(plan.shard_of[static_cast<size_t>(rec)], s);
+        EXPECT_GT(pos[static_cast<size_t>(rec)], prev);
+        prev = pos[static_cast<size_t>(rec)];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction.
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> RandomSims(int n, int attrs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> sims(static_cast<size_t>(n));
+  for (auto& row : sims) {
+    row.resize(static_cast<size_t>(attrs));
+    for (double& s : row) s = rng.UniformDouble(0.0, 1.0);
+  }
+  return sims;
+}
+
+// Byte-level equality of two frozen graphs: vertex payloads, edge counts,
+// and both CSR adjacency sides, span for span.
+void ExpectGraphsIdentical(const PairGraph& a, const PairGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_TRUE(a.frozen());
+  ASSERT_TRUE(b.frozen());
+  EXPECT_EQ(a.all_sims(), b.all_sims());
+  for (int v = 0; v < static_cast<int>(a.num_vertices()); ++v) {
+    auto ac = a.children(v), bc = b.children(v);
+    ASSERT_TRUE(std::equal(ac.begin(), ac.end(), bc.begin(), bc.end()))
+        << "children diverge at vertex " << v;
+    auto ap = a.parents(v), bp = b.parents(v);
+    ASSERT_TRUE(std::equal(ap.begin(), ap.end(), bp.begin(), bp.end()))
+        << "parents diverge at vertex " << v;
+  }
+}
+
+std::unique_ptr<GraphBuilder> MakeTestBuilder(BuilderKind kind) {
+  switch (kind) {
+    case BuilderKind::kBruteForce:
+      return std::make_unique<BruteForceBuilder>();
+    case BuilderKind::kQuickSort:
+      return std::make_unique<QuickSortBuilder>(19);
+    case BuilderKind::kRangeTree:
+      return std::make_unique<RangeTreeBuilder>();
+    case BuilderKind::kRangeTreeMd:
+      return std::make_unique<RangeTreeMdBuilder>();
+  }
+  return nullptr;
+}
+
+class ShardGraphTest : public ::testing::TestWithParam<BuilderKind> {};
+
+TEST_P(ShardGraphTest, ShardedBuildByteIdenticalAtAnyShardAndThreadCount) {
+  auto builder = MakeTestBuilder(GetParam());
+  auto sims = RandomSims(120, 3, 71);
+  PairGraph mono;
+  {
+    ScopedNumThreads scope(1);
+    mono = builder->Build(sims);
+  }
+  for (int shards : {1, 2, 3, 8}) {
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      ScopedNumThreads scope(threads);
+      PairGraph sharded = BuildShardedGraph(*builder, sims, shards);
+      ExpectGraphsIdentical(sharded, mono);
+      if (testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilders, ShardGraphTest,
+                         testing::Values(BuilderKind::kBruteForce,
+                                         BuilderKind::kQuickSort,
+                                         BuilderKind::kRangeTree,
+                                         BuilderKind::kRangeTreeMd),
+                         [](const auto& param_info) {
+                           return std::string(
+                               BuilderKindName(param_info.param));
+                         });
+
+TEST(ShardGroupedGraphTest, ShardedGroupedBuildByteIdentical) {
+  auto sims = RandomSims(160, 3, 29);
+  std::vector<VertexGroup> groups = SplitGrouper().Group(sims, 0.1);
+  ASSERT_GT(groups.size(), 1u);
+  GroupedGraph mono;
+  {
+    ScopedNumThreads scope(1);
+    mono = BuildGroupedGraph(groups);
+  }
+  for (int shards : {1, 2, 5, 16}) {
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      ScopedNumThreads scope(threads);
+      GroupedGraph sharded = BuildGroupedGraph(groups, shards);
+      ASSERT_EQ(sharded.groups.size(), mono.groups.size());
+      ExpectGraphsIdentical(sharded.graph, mono.graph);
+      if (testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end.
+// ---------------------------------------------------------------------------
+
+// Wraps an oracle and records every crowd round (the question sequence).
+class RecordingOracle : public PairOracle {
+ public:
+  explicit RecordingOracle(PairOracle* inner) : inner_(inner) {}
+
+  VoteResult Ask(int i, int j) override { return inner_->Ask(i, j); }
+
+  std::vector<VoteResult> AskBatch(
+      const std::vector<std::pair<int, int>>& pairs) override {
+    rounds_.push_back(pairs);
+    return inner_->AskBatch(pairs);
+  }
+
+  const std::vector<std::vector<std::pair<int, int>>>& rounds() const {
+    return rounds_;
+  }
+
+ private:
+  PairOracle* inner_;
+  std::vector<std::vector<std::pair<int, int>>> rounds_;
+};
+
+TEST(ShardEndToEndTest, RunTraceInvariantAcrossShardAndThreadCounts) {
+  Table table = SmallTable(180, 100, 47);
+  constexpr uint64_t kCrowdSeed = 13;
+
+  PowerConfig config;
+  // Pin the prefix join so the sharded candidate path is the one under test
+  // (kAuto would pick the all-pairs scan at this size).
+  config.candidate_method = CandidateMethod::kPrefixJoin;
+
+  // Monolithic serial baseline.
+  PowerResult baseline;
+  std::vector<std::vector<std::pair<int, int>>> baseline_rounds;
+  {
+    config.num_shards = 1;
+    config.num_threads = 1;
+    CrowdOracle crowd(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5,
+                      kCrowdSeed);
+    RecordingOracle recorder(&crowd);
+    baseline = PowerFramework(config).Run(table, &recorder);
+    baseline_rounds = recorder.rounds();
+  }
+  ASSERT_GT(baseline.questions, 0u);
+  ASSERT_GT(baseline.num_pairs, 0u);
+
+  for (int shards : {1, 4, 16}) {
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      config.num_shards = shards;
+      config.num_threads = threads;
+      CrowdOracle crowd(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5,
+                        kCrowdSeed);
+      RecordingOracle recorder(&crowd);
+      PowerResult r = PowerFramework(config).Run(table, &recorder);
+      // Same questions, in the same rounds, in the same order...
+      EXPECT_EQ(recorder.rounds(), baseline_rounds);
+      // ...and the same resolution.
+      EXPECT_EQ(r.num_pairs, baseline.num_pairs);
+      EXPECT_EQ(r.num_groups, baseline.num_groups);
+      EXPECT_EQ(r.num_edges, baseline.num_edges);
+      EXPECT_EQ(r.questions, baseline.questions);
+      EXPECT_EQ(r.iterations, baseline.iterations);
+      EXPECT_EQ(r.matched_pairs, baseline.matched_pairs);
+      EXPECT_EQ(r.num_shards, shards);
+    }
+  }
+}
+
+TEST(ShardEndToEndTest, UngroupedPathAlsoInvariant) {
+  Table table = SmallTable(120, 70, 21);
+  constexpr uint64_t kCrowdSeed = 23;
+
+  PowerConfig config;
+  config.candidate_method = CandidateMethod::kPrefixJoin;
+  config.grouping = GroupingKind::kNone;
+
+  PowerResult baseline;
+  {
+    config.num_shards = 1;
+    config.num_threads = 1;
+    CrowdOracle crowd(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5,
+                      kCrowdSeed);
+    baseline = PowerFramework(config).Run(table, &crowd);
+  }
+  ASSERT_GT(baseline.questions, 0u);
+
+  for (int shards : {4, 16}) {
+    SCOPED_TRACE(shards);
+    config.num_shards = shards;
+    config.num_threads = 2;
+    CrowdOracle crowd(&table, {1.0, 1.0}, WorkerModel::kExactAccuracy, 5,
+                      kCrowdSeed);
+    PowerResult r = PowerFramework(config).Run(table, &crowd);
+    EXPECT_EQ(r.questions, baseline.questions);
+    EXPECT_EQ(r.iterations, baseline.iterations);
+    EXPECT_EQ(r.matched_pairs, baseline.matched_pairs);
+    EXPECT_EQ(r.num_edges, baseline.num_edges);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment resolution.
+// ---------------------------------------------------------------------------
+
+class ShardEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("POWER_SHARDS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+  }
+  void TearDown() override {
+    if (had_old_) {
+      ::setenv("POWER_SHARDS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("POWER_SHARDS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST_F(ShardEnvTest, ConfigValueWinsOverEnvironment) {
+  ::setenv("POWER_SHARDS", "16", 1);
+  EXPECT_EQ(ResolveNumShards(3), 3);
+}
+
+TEST_F(ShardEnvTest, ZeroDefersToEnvironment) {
+  ::setenv("POWER_SHARDS", "4", 1);
+  EXPECT_EQ(ResolveNumShards(0), 4);
+}
+
+TEST_F(ShardEnvTest, UnsetOrInvalidEnvironmentMeansMonolithic) {
+  ::unsetenv("POWER_SHARDS");
+  EXPECT_EQ(ResolveNumShards(0), 1);
+  ::setenv("POWER_SHARDS", "", 1);
+  EXPECT_EQ(ResolveNumShards(0), 1);
+  ::setenv("POWER_SHARDS", "0", 1);
+  EXPECT_EQ(ResolveNumShards(0), 1);
+  ::setenv("POWER_SHARDS", "-3", 1);
+  EXPECT_EQ(ResolveNumShards(0), 1);
+  ::setenv("POWER_SHARDS", "abc", 1);
+  EXPECT_EQ(ResolveNumShards(0), 1);
+  ::setenv("POWER_SHARDS", "4x", 1);
+  EXPECT_EQ(ResolveNumShards(0), 1);
+}
+
+}  // namespace
+}  // namespace power
